@@ -1,0 +1,75 @@
+//! Criterion benchmark of the end-to-end LSM read path: empty range scans and
+//! point gets against a level-0-only store, per filter family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bloomrf_filters::FilterKind;
+use bloomrf_lsm::{Db, DbOptions, IoModel};
+use bloomrf_workloads::{Distribution, QueryGenerator, Sampler};
+
+const N_KEYS: usize = 50_000;
+
+fn build_db(kind: FilterKind) -> (Db, Vec<u64>) {
+    let keys = Sampler::new(Distribution::Uniform, 64, 9).sample_distinct(N_KEYS);
+    let db = Db::new(DbOptions {
+        memtable_flush_entries: N_KEYS / 4,
+        entries_per_block: 8,
+        filter_kind: kind,
+        bits_per_key: 22.0,
+        io_model: IoModel::default(),
+    });
+    for &k in &keys {
+        db.put(k, vec![0u8; 64]);
+    }
+    db.flush();
+    (db, keys)
+}
+
+fn bench_lsm_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_empty_range_scan");
+    group.sample_size(10);
+    for kind in FilterKind::point_range_filters(1 << 14) {
+        let (db, keys) = build_db(kind);
+        let mut generator = QueryGenerator::new(&keys, Distribution::Uniform, 10);
+        let queries = generator.empty_ranges(1_000, 1 << 10);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &db, |b, db| {
+            b.iter(|| {
+                let mut positives = 0usize;
+                for q in &queries {
+                    if db.range_is_possibly_non_empty(black_box(q.lo), black_box(q.hi)) {
+                        positives += 1;
+                    }
+                }
+                black_box(positives)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lsm_gets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_point_get");
+    group.sample_size(10);
+    for kind in [FilterKind::BloomRf { max_range: 1e4 }, FilterKind::Bloom] {
+        let (db, keys) = build_db(kind);
+        let probes: Vec<u64> = keys.iter().step_by(10).copied().collect();
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &db, |b, db| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for &p in &probes {
+                    if db.get(black_box(p)).is_some() {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lsm_scans, bench_lsm_gets);
+criterion_main!(benches);

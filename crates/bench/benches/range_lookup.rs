@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks: range-lookup latency versus query-range size —
+//! the headline claim that bloomRF's two-path lookup is O(k), independent of
+//! the range size, while Rosetta's doubting grows with the range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bloomrf_filters::FilterKind;
+use bloomrf_workloads::{Distribution, QueryGenerator, Sampler};
+
+const N_KEYS: usize = 100_000;
+const BITS_PER_KEY: f64 = 18.0;
+
+fn bench_range_lookup(c: &mut Criterion) {
+    let keys = Sampler::new(Distribution::Uniform, 64, 42).sample_distinct(N_KEYS);
+    let mut generator = QueryGenerator::new(&keys, Distribution::Uniform, 7);
+
+    let mut group = c.benchmark_group("range_lookup");
+    group.sample_size(20);
+    for range_exp in [4u32, 10, 20, 30] {
+        let range = 1u64 << range_exp;
+        let queries = generator.empty_ranges(2_000, range);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        for kind in FilterKind::point_range_filters(1 << 14) {
+            let filter = kind.build(&keys, BITS_PER_KEY);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("2^{range_exp}")),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut positives = 0usize;
+                        for q in queries {
+                            if filter.may_contain_range(black_box(q.lo), black_box(q.hi)) {
+                                positives += 1;
+                            }
+                        }
+                        black_box(positives)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_lookup);
+criterion_main!(benches);

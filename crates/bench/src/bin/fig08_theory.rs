@@ -1,0 +1,49 @@
+//! Figure 8: analytical space-vs-FPR comparison of bloomRF, Rosetta (first-cut
+//! model) and the theoretical lower bounds for (A) point queries and (B) range
+//! queries of size R = 16, 32, 64 on a 64-bit integer domain.
+
+use bloomrf::model;
+use bloomrf_bench::{sig, Report};
+
+fn main() {
+    let domain_bits = 64u32;
+    let n_keys = 10_000_000usize;
+    let delta = 7u32;
+    let k = model::basic_layer_count(domain_bits, n_keys, delta);
+
+    let mut point = Report::new(
+        "fig08a_point",
+        &["fpr", "lower_bound_bpk", "rosetta_bpk", "bloomrf_bpk"],
+    );
+    let mut range = Report::new(
+        "fig08b_range",
+        &["fpr", "R", "lower_bound_bpk", "rosetta_bpk", "bloomrf_bpk"],
+    );
+
+    let fprs: Vec<f64> = (1..=30).map(|i| i as f64 * 0.001).collect();
+    for &eps in &fprs {
+        let lb = model::point_lower_bound_bits_per_key(eps);
+        // Rosetta's point queries are served by its bottom (exact-granularity)
+        // Bloom filter, which can use the FPR-optimal hash count:
+        // m/n = log2(e) · log2(1/ε).
+        let rosetta_bpk = (1.0f64 / eps).log2() * std::f64::consts::LOG2_E;
+        let bloomrf_bpk = model::bloomrf_point_bits_per_key(eps, k);
+        point.row(&[sig(eps), sig(lb), sig(rosetta_bpk), sig(bloomrf_bpk)]);
+
+        for r in [16.0f64, 32.0, 64.0] {
+            let lb = model::range_lower_bound_bits_per_key(eps, r, n_keys as f64, domain_bits);
+            let rosetta = model::rosetta_first_cut_bits_per_key(eps, r);
+            let bloomrf = model::basic_bits_per_key_for_fpr(domain_bits, n_keys, delta, r, eps);
+            range.row(&[sig(eps), format!("{r}"), sig(lb), sig(rosetta), sig(bloomrf)]);
+        }
+    }
+
+    point.finish();
+    range.finish();
+
+    println!(
+        "Shape check (paper): for point queries bloomRF needs slightly more space than Rosetta \
+         (k is fixed by the domain); for range queries bloomRF sits between Rosetta and the \
+         lower bound, and the gap to Rosetta grows with R."
+    );
+}

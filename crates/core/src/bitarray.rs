@@ -1,0 +1,484 @@
+//! Bit-array primitives used by bloomRF and the baseline filters.
+//!
+//! Two flavours are provided:
+//!
+//! * [`BitVec`] — a plain, single-threaded bit vector with word-granular access.
+//!   Used for exact-layer bitmaps, baseline filters and succinct structures.
+//! * [`AtomicBits`] — a lock-free bit array backed by `AtomicU64`. bloomRF is an
+//!   *online* filter (Problem 2 in the paper): keys can be inserted while queries
+//!   run concurrently, so the probabilistic segments use atomic words.
+//!
+//! Both types address sub-words of `1..=64` bits. bloomRF's piecewise-monotone
+//! hash functions read and write *words* of `2^(Δ-1)` bits; because every
+//! supported word size divides 64 and segments are 64-bit aligned, a logical
+//! word never straddles two physical `u64` words.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Round a bit count up to a whole number of 64-bit words.
+#[inline]
+pub fn words_for_bits(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// A plain growable-free bit vector with word-level helpers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitVec {
+    /// Create a zeroed bit vector with room for `bits` bits (rounded up to 64).
+    pub fn new(bits: usize) -> Self {
+        Self { words: vec![0u64; words_for_bits(bits)], bits }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// True if the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Total memory consumed by the payload, in bits (multiple of 64).
+    #[inline]
+    pub fn capacity_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Set bit `idx` to one.
+    #[inline]
+    pub fn set(&mut self, idx: usize) {
+        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Clear bit `idx`.
+    #[inline]
+    pub fn clear(&mut self, idx: usize) {
+        debug_assert!(idx < self.bits);
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Read bit `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Load a logical word of `width` bits (1..=64, dividing 64) starting at the
+    /// `width`-aligned bit position `start`.
+    #[inline]
+    pub fn load_word(&self, start: usize, width: u32) -> u64 {
+        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert_eq!(start % width as usize, 0, "unaligned word load");
+        let word = self.words[start / 64];
+        let shift = (start % 64) as u32;
+        if width == 64 {
+            word
+        } else {
+            (word >> shift) & ((1u64 << width) - 1)
+        }
+    }
+
+    /// OR a logical word of `width` bits into the array at aligned position `start`.
+    #[inline]
+    pub fn or_word(&mut self, start: usize, width: u32, value: u64) {
+        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert_eq!(start % width as usize, 0, "unaligned word store");
+        let shift = (start % 64) as u32;
+        self.words[start / 64] |= value << shift;
+    }
+
+    /// Count of set bits in the whole array.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if any bit in the inclusive bit range `[lo, hi]` is set.
+    pub fn any_set_in(&self, lo: usize, hi: usize) -> bool {
+        if lo > hi {
+            return false;
+        }
+        debug_assert!(hi < self.bits);
+        let (lw, hw) = (lo / 64, hi / 64);
+        if lw == hw {
+            let mask = mask_between(lo % 64, hi % 64);
+            return self.words[lw] & mask != 0;
+        }
+        if self.words[lw] & mask_between(lo % 64, 63) != 0 {
+            return true;
+        }
+        for w in lw + 1..hw {
+            if self.words[w] != 0 {
+                return true;
+            }
+        }
+        self.words[hw] & mask_between(0, hi % 64) != 0
+    }
+
+    /// Access the raw backing words (read-only).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the raw backing words.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Reset every bit to zero.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterate over the lengths of maximal runs of zero bits, as used by the
+    /// PMHF random-scatter analysis (Fig. 5.B of the paper).
+    pub fn zero_run_lengths(&self) -> Vec<usize> {
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for idx in 0..self.bits {
+            if self.get(idx) {
+                if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            } else {
+                current += 1;
+            }
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+        runs
+    }
+
+    /// Distances (in bits) between the starts of consecutive zero runs
+    /// (Fig. 5.C of the paper).
+    pub fn zero_run_distances(&self) -> Vec<usize> {
+        let mut starts = Vec::new();
+        let mut in_run = false;
+        for idx in 0..self.bits {
+            if !self.get(idx) {
+                if !in_run {
+                    starts.push(idx);
+                    in_run = true;
+                }
+            } else {
+                in_run = false;
+            }
+        }
+        starts.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Serialize into a little-endian byte vector (length header + words).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        out.extend_from_slice(&(self.bits as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from the representation produced by [`BitVec::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let bits = u64::from_le_bytes(bytes[0..8].try_into().ok()?) as usize;
+        let nwords = words_for_bits(bits);
+        if bytes.len() < 8 + nwords * 8 {
+            return None;
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for i in 0..nwords {
+            let off = 8 + i * 8;
+            words.push(u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?));
+        }
+        Some(Self { words, bits })
+    }
+}
+
+/// Inclusive bit mask covering bit positions `lo..=hi` within a 64-bit word.
+#[inline]
+pub fn mask_between(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo <= hi && hi < 64);
+    let width = hi - lo + 1;
+    if width == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
+    }
+}
+
+/// A fixed-size, lock-free bit array for concurrent insert/lookup.
+///
+/// All loads and stores use relaxed ordering: the filter tolerates observing a
+/// slightly stale bit array (a concurrent insert may not yet be visible), which
+/// only ever produces a *false negative for a key inserted concurrently with
+/// the query* — the same semantics RocksDB exposes for its memtable/filter pair.
+/// Once an insert has returned, subsequent queries on the same thread observe it.
+#[derive(Debug)]
+pub struct AtomicBits {
+    words: Vec<AtomicU64>,
+    bits: usize,
+}
+
+impl AtomicBits {
+    /// Create a zeroed atomic bit array with room for `bits` bits.
+    pub fn new(bits: usize) -> Self {
+        let mut words = Vec::with_capacity(words_for_bits(bits));
+        for _ in 0..words_for_bits(bits) {
+            words.push(AtomicU64::new(0));
+        }
+        Self { words, bits }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// True if the array holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Total payload bits (multiple of 64).
+    #[inline]
+    pub fn capacity_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Atomically set bit `idx`.
+    #[inline]
+    pub fn set(&self, idx: usize) {
+        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        self.words[idx / 64].fetch_or(1u64 << (idx % 64), Ordering::Relaxed);
+    }
+
+    /// Read bit `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        (self.words[idx / 64].load(Ordering::Relaxed) >> (idx % 64)) & 1 == 1
+    }
+
+    /// Load a logical word of `width` bits (1..=64, dividing 64) at the aligned
+    /// bit position `start`.
+    #[inline]
+    pub fn load_word(&self, start: usize, width: u32) -> u64 {
+        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert_eq!(start % width as usize, 0, "unaligned word load");
+        let word = self.words[start / 64].load(Ordering::Relaxed);
+        let shift = (start % 64) as u32;
+        if width == 64 {
+            word
+        } else {
+            (word >> shift) & ((1u64 << width) - 1)
+        }
+    }
+
+    /// OR a logical word of `width` bits into the array at aligned position `start`.
+    #[inline]
+    pub fn or_word(&self, start: usize, width: u32, value: u64) {
+        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert_eq!(start % width as usize, 0, "unaligned word store");
+        let shift = (start % 64) as u32;
+        self.words[start / 64].fetch_or(value << shift, Ordering::Relaxed);
+    }
+
+    /// Count of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+    }
+
+    /// True if any bit in the inclusive bit range `[lo, hi]` is set.
+    pub fn any_set_in(&self, lo: usize, hi: usize) -> bool {
+        if lo > hi {
+            return false;
+        }
+        debug_assert!(hi < self.bits);
+        let (lw, hw) = (lo / 64, hi / 64);
+        if lw == hw {
+            let mask = mask_between(lo % 64, hi % 64);
+            return self.words[lw].load(Ordering::Relaxed) & mask != 0;
+        }
+        if self.words[lw].load(Ordering::Relaxed) & mask_between(lo % 64, 63) != 0 {
+            return true;
+        }
+        for w in lw + 1..hw {
+            if self.words[w].load(Ordering::Relaxed) != 0 {
+                return true;
+            }
+        }
+        self.words[hw].load(Ordering::Relaxed) & mask_between(0, hi % 64) != 0
+    }
+
+    /// Snapshot the array into a plain [`BitVec`] (used for serialization and
+    /// the scatter analysis).
+    pub fn snapshot(&self) -> BitVec {
+        let words: Vec<u64> = self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect();
+        BitVec { words, bits: self.bits }
+    }
+
+    /// Restore an atomic array from a plain snapshot.
+    pub fn from_bitvec(bv: &BitVec) -> Self {
+        let mut words = Vec::with_capacity(bv.words.len());
+        for w in &bv.words {
+            words.push(AtomicU64::new(*w));
+        }
+        Self { words, bits: bv.bits }
+    }
+}
+
+impl Clone for AtomicBits {
+    fn clone(&self) -> Self {
+        Self::from_bitvec(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bv = BitVec::new(200);
+        assert_eq!(bv.len(), 200);
+        assert!(!bv.get(0));
+        bv.set(0);
+        bv.set(63);
+        bv.set(64);
+        bv.set(199);
+        assert!(bv.get(0) && bv.get(63) && bv.get(64) && bv.get(199));
+        assert!(!bv.get(1) && !bv.get(65) && !bv.get(198));
+        assert_eq!(bv.count_ones(), 4);
+        bv.clear(63);
+        assert!(!bv.get(63));
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn word_access_respects_alignment_and_width() {
+        let mut bv = BitVec::new(128);
+        // Word width 8 at position 16..24
+        bv.or_word(16, 8, 0b1010_0001);
+        assert_eq!(bv.load_word(16, 8), 0b1010_0001);
+        assert!(bv.get(16));
+        assert!(!bv.get(17));
+        assert!(bv.get(21));
+        assert!(bv.get(23));
+        // Width 64 word
+        bv.or_word(64, 64, u64::MAX);
+        assert_eq!(bv.load_word(64, 64), u64::MAX);
+        // Width 1 behaves like a single bit
+        let mut one = BitVec::new(64);
+        one.or_word(5, 1, 1);
+        assert!(one.get(5));
+        assert_eq!(one.load_word(5, 1), 1);
+        assert_eq!(one.load_word(6, 1), 0);
+    }
+
+    #[test]
+    fn mask_between_is_inclusive() {
+        assert_eq!(mask_between(0, 0), 1);
+        assert_eq!(mask_between(0, 63), u64::MAX);
+        assert_eq!(mask_between(3, 5), 0b111000);
+        assert_eq!(mask_between(63, 63), 1u64 << 63);
+    }
+
+    #[test]
+    fn any_set_in_spanning_words() {
+        let mut bv = BitVec::new(512);
+        bv.set(130);
+        assert!(bv.any_set_in(0, 511));
+        assert!(bv.any_set_in(130, 130));
+        assert!(bv.any_set_in(64, 191));
+        assert!(!bv.any_set_in(0, 129));
+        assert!(!bv.any_set_in(131, 511));
+        assert!(!bv.any_set_in(200, 100)); // empty range
+    }
+
+    #[test]
+    fn zero_runs_and_distances() {
+        let mut bv = BitVec::new(16);
+        // pattern: 0 1 1 0 0 0 1 0 ... (rest zero)
+        bv.set(1);
+        bv.set(2);
+        bv.set(6);
+        let runs = bv.zero_run_lengths();
+        assert_eq!(runs, vec![1, 3, 9]);
+        let dists = bv.zero_run_distances();
+        assert_eq!(dists, vec![3, 4]);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut bv = BitVec::new(300);
+        for i in (0..300).step_by(7) {
+            bv.set(i);
+        }
+        let bytes = bv.to_bytes();
+        let restored = BitVec::from_bytes(&bytes).expect("valid bytes");
+        assert_eq!(bv, restored);
+        assert!(BitVec::from_bytes(&bytes[..4]).is_none());
+    }
+
+    #[test]
+    fn atomic_bits_basic_operations() {
+        let ab = AtomicBits::new(256);
+        ab.set(7);
+        ab.set(200);
+        ab.or_word(8, 8, 0xF0);
+        assert!(ab.get(7));
+        assert!(ab.get(200));
+        assert_eq!(ab.load_word(8, 8), 0xF0);
+        assert!(ab.any_set_in(0, 255));
+        assert!(!ab.any_set_in(16, 199));
+        let snap = ab.snapshot();
+        assert_eq!(snap.count_ones(), ab.count_ones());
+        let back = AtomicBits::from_bitvec(&snap);
+        assert_eq!(back.count_ones(), ab.count_ones());
+    }
+
+    #[test]
+    fn atomic_bits_concurrent_inserts() {
+        use std::sync::Arc;
+        let ab = Arc::new(AtomicBits::new(64 * 1024));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ab = Arc::clone(&ab);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000usize {
+                    ab.set((t as usize * 1000 + i) % ab.len());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ab.count_ones(), 4000);
+    }
+
+    #[test]
+    fn words_for_bits_rounding() {
+        assert_eq!(words_for_bits(0), 0);
+        assert_eq!(words_for_bits(1), 1);
+        assert_eq!(words_for_bits(64), 1);
+        assert_eq!(words_for_bits(65), 2);
+        assert_eq!(words_for_bits(640), 10);
+    }
+}

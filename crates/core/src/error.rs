@@ -1,0 +1,106 @@
+//! Error types for filter configuration and construction.
+
+use std::fmt;
+
+/// Errors produced while validating or constructing a [`crate::BloomRfConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // the variant fields are described by the Display impl
+pub enum ConfigError {
+    /// The domain width is out of the supported range (1..=64 bits).
+    InvalidDomainBits(u32),
+    /// No layers were specified.
+    NoLayers,
+    /// The bottom layer must sit at level 0.
+    BottomLayerNotAtLevelZero(u32),
+    /// Layers must be contiguous: `level[i+1] == level[i] + gap[i]`.
+    NonContiguousLayers { layer: usize, expected_level: u32, found_level: u32 },
+    /// A layer gap must be in 1..=7 (word sizes of 1..=64 bits).
+    InvalidGap { layer: usize, gap: u32 },
+    /// A layer must have at least one hash function (replica).
+    InvalidReplicas { layer: usize },
+    /// A layer references a segment that does not exist.
+    SegmentOutOfRange { layer: usize, segment: usize },
+    /// A segment must hold at least one 64-bit word.
+    SegmentTooSmall { segment: usize, bits: usize },
+    /// The exact level must lie above the top probabilistic layer and within the domain.
+    InvalidExactLevel { exact_level: u32, top_boundary: u32, domain_bits: u32 },
+    /// The memory budget is too small to build the requested filter.
+    BudgetTooSmall { requested_bits: usize, minimum_bits: usize },
+    /// A key lies outside the configured domain.
+    KeyOutOfDomain { key: u64, domain_bits: u32 },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidDomainBits(d) => {
+                write!(f, "domain width {d} is not in 1..=64 bits")
+            }
+            ConfigError::NoLayers => write!(f, "a bloomRF configuration needs at least one layer"),
+            ConfigError::BottomLayerNotAtLevelZero(l) => {
+                write!(f, "the bottom layer must be at level 0, found level {l}")
+            }
+            ConfigError::NonContiguousLayers { layer, expected_level, found_level } => write!(
+                f,
+                "layer {layer} must start at level {expected_level} (previous level + gap), found {found_level}"
+            ),
+            ConfigError::InvalidGap { layer, gap } => {
+                write!(f, "layer {layer} has gap {gap}, supported gaps are 1..=7")
+            }
+            ConfigError::InvalidReplicas { layer } => {
+                write!(f, "layer {layer} must use at least one hash function")
+            }
+            ConfigError::SegmentOutOfRange { layer, segment } => {
+                write!(f, "layer {layer} references segment {segment} which does not exist")
+            }
+            ConfigError::SegmentTooSmall { segment, bits } => {
+                write!(f, "segment {segment} has only {bits} bits, at least 64 are required")
+            }
+            ConfigError::InvalidExactLevel { exact_level, top_boundary, domain_bits } => write!(
+                f,
+                "exact level {exact_level} must satisfy top-layer boundary {top_boundary} <= exact level <= domain bits {domain_bits}"
+            ),
+            ConfigError::BudgetTooSmall { requested_bits, minimum_bits } => write!(
+                f,
+                "memory budget of {requested_bits} bits is below the minimum of {minimum_bits} bits"
+            ),
+            ConfigError::KeyOutOfDomain { key, domain_bits } => {
+                write!(f, "key {key} does not fit in the configured domain of {domain_bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ConfigError, &str)> = vec![
+            (ConfigError::InvalidDomainBits(0), "domain width 0"),
+            (ConfigError::NoLayers, "at least one layer"),
+            (ConfigError::BottomLayerNotAtLevelZero(3), "level 0"),
+            (
+                ConfigError::NonContiguousLayers { layer: 2, expected_level: 14, found_level: 12 },
+                "layer 2",
+            ),
+            (ConfigError::InvalidGap { layer: 1, gap: 9 }, "gap 9"),
+            (ConfigError::InvalidReplicas { layer: 0 }, "layer 0"),
+            (ConfigError::SegmentOutOfRange { layer: 4, segment: 7 }, "segment 7"),
+            (ConfigError::SegmentTooSmall { segment: 1, bits: 8 }, "segment 1"),
+            (
+                ConfigError::InvalidExactLevel { exact_level: 3, top_boundary: 10, domain_bits: 64 },
+                "exact level 3",
+            ),
+            (ConfigError::BudgetTooSmall { requested_bits: 10, minimum_bits: 64 }, "64 bits"),
+            (ConfigError::KeyOutOfDomain { key: 300, domain_bits: 8 }, "key 300"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,853 @@
+//! The bloomRF point-range filter (Sect. 3, 4 and 7 of the paper).
+//!
+//! A [`BloomRf`] is configured by a [`BloomRfConfig`]: a stack of
+//! probabilistic layers (each with its own dyadic level, word size, replica
+//! count and memory segment) optionally topped by an exactly-stored level.
+//! Insertions and point lookups behave like a Bloom filter whose hash
+//! functions are piecewise-monotone prefix hashes; range lookups run the
+//! two-path algorithm (Algorithm 1), probing at most a handful of words per
+//! layer independently of the query-range size.
+//!
+//! The filter is *online*: `insert` takes `&self` and may run concurrently
+//! with lookups (the bit arrays are atomic), which is the property Experiment
+//! 4 of the paper evaluates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bitarray::{mask_between, AtomicBits};
+use crate::config::{BloomRfConfig, RangePolicy};
+use crate::error::ConfigError;
+use crate::hashing::{derive_seeds, shl, shr, HashKind, Pmhf};
+use crate::traits::{OnlineFilter, PointRangeFilter};
+
+/// Probe-cost counters collected during a range lookup; used by the
+/// cost-breakdown experiment (Fig. 12.G) and by the tests that verify the
+/// constant-query-complexity claim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Number of word loads from the probabilistic segments.
+    pub word_accesses: usize,
+    /// Number of single-bit covering checks.
+    pub bit_checks: usize,
+    /// Number of exact-layer bitmap probes (bits or word scans).
+    pub exact_probes: usize,
+    /// Number of layers visited before the lookup terminated.
+    pub layers_visited: usize,
+}
+
+/// Pre-computed per-layer state: the replica PMHFs and the word geometry of the
+/// segment the layer writes to.
+#[derive(Clone, Debug)]
+struct LayerRuntime {
+    level: u32,
+    offset_bits: u32,
+    word_bits: u32,
+    segment: usize,
+    word_count: u64,
+    hashers: Vec<Pmhf>,
+}
+
+/// The bloomRF filter.
+#[derive(Debug)]
+pub struct BloomRf {
+    config: BloomRfConfig,
+    layers: Vec<LayerRuntime>,
+    segments: Vec<AtomicBits>,
+    exact: Option<AtomicBits>,
+    key_count: AtomicU64,
+}
+
+impl BloomRf {
+    /// Build an empty filter from a validated configuration.
+    pub fn new(config: BloomRfConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let segments: Vec<AtomicBits> =
+            config.segment_bits.iter().map(|&bits| AtomicBits::new(bits)).collect();
+        let exact = config.exact_level.map(|e| {
+            let bits = 1usize << (config.domain_bits - e).min(63);
+            AtomicBits::new(bits)
+        });
+        let seeds = derive_seeds(config.hash_seed, config.layers.len() * 8);
+        let mut layers = Vec::with_capacity(config.layers.len());
+        for (i, spec) in config.layers.iter().enumerate() {
+            let word_bits = spec.word_bits();
+            let segment_bits = config.segment_bits[spec.segment];
+            let word_count = (segment_bits as u64 / word_bits as u64).max(1);
+            let hashers = (0..spec.replicas as usize)
+                .map(|r| {
+                    let mut h = Pmhf::new(spec.level, spec.offset_bits(), seeds[i * 8 + r]);
+                    h.layout = config.word_layout;
+                    h
+                })
+                .collect();
+            layers.push(LayerRuntime {
+                level: spec.level,
+                offset_bits: spec.offset_bits(),
+                word_bits,
+                segment: spec.segment,
+                word_count,
+                hashers,
+            });
+        }
+        Ok(Self { config, layers, segments, exact, key_count: AtomicU64::new(0) })
+    }
+
+    /// Convenience constructor for the basic, tuning-free filter (Sect. 3).
+    pub fn basic(domain_bits: u32, n_keys: usize, bits_per_key: f64, delta: u32) -> Result<Self, ConfigError> {
+        Self::new(BloomRfConfig::basic(domain_bits, n_keys, bits_per_key, delta)?)
+    }
+
+    /// The configuration this filter was built from.
+    pub fn config(&self) -> &BloomRfConfig {
+        &self.config
+    }
+
+    /// Number of keys inserted so far.
+    pub fn key_count(&self) -> u64 {
+        self.key_count.load(Ordering::Relaxed)
+    }
+
+    /// Total memory used by the filter payload, in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.segments.iter().map(|s| s.capacity_bits()).sum::<usize>()
+            + self.exact.as_ref().map(|e| e.capacity_bits()).unwrap_or(0)
+    }
+
+    /// Replace the hash functions of every layer with the paper's affine
+    /// example hashes `h_i(x) = a_i + b_i·x` (for tests reproducing Fig. 3/4).
+    pub fn with_affine_hashes(mut self, params: &[(u64, u64)]) -> Self {
+        for (layer, &(a, b)) in self.layers.iter_mut().zip(params.iter()) {
+            for h in layer.hashers.iter_mut() {
+                h.hash = HashKind::Affine { a, b };
+            }
+        }
+        self
+    }
+
+    /// Insert a key. Panics if the key does not fit the configured domain.
+    pub fn insert(&self, key: u64) {
+        assert!(
+            key <= self.config.max_key(),
+            "key {key} outside the {}-bit domain",
+            self.config.domain_bits
+        );
+        if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
+            exact.set(shr(key, e) as usize);
+        }
+        for layer in &self.layers {
+            let seg = &self.segments[layer.segment];
+            for h in &layer.hashers {
+                seg.set(h.bit_position(key, layer.word_count) as usize);
+            }
+        }
+        self.key_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate point membership test.
+    pub fn contains_point(&self, key: u64) -> bool {
+        if key > self.config.max_key() {
+            return false;
+        }
+        if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
+            if !exact.get(shr(key, e) as usize) {
+                return false;
+            }
+        }
+        for layer in &self.layers {
+            if !self.layer_bit_set(layer, key) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Approximate range emptiness test for the inclusive interval `[lo, hi]`.
+    /// Returns `false` only if the filter can prove that no inserted key lies
+    /// in the interval; `true` may be a false positive.
+    pub fn contains_range(&self, lo: u64, hi: u64) -> bool {
+        self.contains_range_counted(lo, hi).0
+    }
+
+    /// Range lookup that also reports probe-cost counters.
+    pub fn contains_range_counted(&self, lo: u64, hi: u64) -> (bool, ProbeStats) {
+        let mut stats = ProbeStats::default();
+        if lo > hi {
+            return (false, stats);
+        }
+        let hi = hi.min(self.config.max_key());
+        if lo > hi {
+            return (false, stats);
+        }
+        if lo == hi {
+            stats.bit_checks = self.layers.len();
+            return (self.contains_point(lo), stats);
+        }
+
+        let budget = match self.config.range_policy {
+            RangePolicy::Exact => usize::MAX,
+            RangePolicy::Conservative { max_words_per_layer } => max_words_per_layer,
+        };
+
+        // Path state: while `merged`, a single covering DI contains the whole
+        // query; after the split the left/right coverings are tracked
+        // independently and die when their single-bit check fails.
+        let mut merged = true;
+        let mut left_alive = true;
+        let mut right_alive = true;
+        let mut parent_level;
+
+        // --- Exact layer (topmost) ---------------------------------------
+        if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
+            let lp = shr(lo, e);
+            let rp = shr(hi, e);
+            if lp == rp {
+                stats.exact_probes += 1;
+                if !exact.get(lp as usize) {
+                    return (false, stats);
+                }
+                if di_start(lp, e) == lo && di_end(lp, e) == hi {
+                    // The query is exactly this dyadic interval → exact answer.
+                    return (true, stats);
+                }
+            } else {
+                // Fully-contained middle region: exact, so a set bit is a true positive.
+                let run_lo = if di_start(lp, e) == lo { lp } else { lp + 1 };
+                let run_hi = if di_end(rp, e) == hi { rp } else { rp - 1 };
+                if run_lo <= run_hi {
+                    let words = ((run_hi - run_lo) / 64 + 1) as usize;
+                    stats.exact_probes += words;
+                    if words > budget {
+                        return (true, stats);
+                    }
+                    if exact.any_set_in(run_lo as usize, run_hi as usize) {
+                        return (true, stats);
+                    }
+                }
+                merged = false;
+                left_alive = di_start(lp, e) != lo && {
+                    stats.exact_probes += 1;
+                    exact.get(lp as usize)
+                };
+                right_alive = di_end(rp, e) != hi && {
+                    stats.exact_probes += 1;
+                    exact.get(rp as usize)
+                };
+                if !left_alive && !right_alive {
+                    return (false, stats);
+                }
+            }
+            parent_level = e;
+        } else {
+            parent_level = self.config.top_boundary().max(self.config.domain_bits);
+        }
+
+        // --- Probabilistic layers, top to bottom --------------------------
+        for layer in self.layers.iter().rev() {
+            stats.layers_visited += 1;
+            let level = layer.level;
+            let lp = shr(lo, level);
+            let rp = shr(hi, level);
+            if merged {
+                if lp == rp {
+                    // Single covering DI; if it happens to be exactly the query
+                    // interval it is a decomposition interval instead.
+                    stats.bit_checks += layer.hashers.len();
+                    let set = self.layer_bit_set(layer, lo);
+                    if di_start(lp, level) == lo && di_end(rp, level) == hi {
+                        return (set, stats);
+                    }
+                    if !set {
+                        return (false, stats);
+                    }
+                } else {
+                    // The two paths split at this layer.
+                    let run_lo = if di_start(lp, level) == lo { lp } else { lp + 1 };
+                    let run_hi = if di_end(rp, level) == hi { rp } else { rp - 1 };
+                    if run_lo <= run_hi {
+                        match self.layer_run_any(layer, run_lo, run_hi, budget, &mut stats) {
+                            RunOutcome::Found => return (true, stats),
+                            RunOutcome::BudgetExceeded => return (true, stats),
+                            RunOutcome::Empty => {}
+                        }
+                    }
+                    merged = false;
+                    left_alive = di_start(lp, level) != lo && {
+                        stats.bit_checks += layer.hashers.len();
+                        self.layer_bit_set(layer, lo)
+                    };
+                    right_alive = di_end(rp, level) != hi && {
+                        stats.bit_checks += layer.hashers.len();
+                        self.layer_bit_set(layer, hi)
+                    };
+                    if !left_alive && !right_alive {
+                        return (false, stats);
+                    }
+                }
+            } else {
+                // Split phase: the left and right paths proceed independently
+                // inside their parent coverings.
+                if left_alive {
+                    let span = parent_level - level;
+                    let parent_last = shl(shr(lo, parent_level) + 1, span).wrapping_sub(1);
+                    let run_lo = if di_start(lp, level) == lo { lp } else { lp + 1 };
+                    if run_lo <= parent_last {
+                        match self.layer_run_any(layer, run_lo, parent_last, budget, &mut stats) {
+                            RunOutcome::Found => return (true, stats),
+                            RunOutcome::BudgetExceeded => return (true, stats),
+                            RunOutcome::Empty => {}
+                        }
+                    }
+                    left_alive = di_start(lp, level) != lo && {
+                        stats.bit_checks += layer.hashers.len();
+                        self.layer_bit_set(layer, lo)
+                    };
+                }
+                if right_alive {
+                    let span = parent_level - level;
+                    let parent_first = shl(shr(hi, parent_level), span);
+                    let run_hi = if di_end(rp, level) == hi { rp } else { rp - 1 };
+                    if parent_first <= run_hi {
+                        match self.layer_run_any(layer, parent_first, run_hi, budget, &mut stats) {
+                            RunOutcome::Found => return (true, stats),
+                            RunOutcome::BudgetExceeded => return (true, stats),
+                            RunOutcome::Empty => {}
+                        }
+                    }
+                    right_alive = di_end(rp, level) != hi && {
+                        stats.bit_checks += layer.hashers.len();
+                        self.layer_bit_set(layer, hi)
+                    };
+                }
+                if !left_alive && !right_alive {
+                    return (false, stats);
+                }
+            }
+            parent_level = level;
+        }
+
+        // All decomposition intervals down to level 0 tested negative. The
+        // bottom layer is at level 0, where every prefix is a point and is
+        // absorbed into a decomposition run, so no covering can survive here.
+        (false, stats)
+    }
+
+    /// Are all replica bits of `layer` set for `key`?
+    #[inline]
+    fn layer_bit_set(&self, layer: &LayerRuntime, key: u64) -> bool {
+        let seg = &self.segments[layer.segment];
+        layer.hashers.iter().all(|h| seg.get(h.bit_position(key, layer.word_count) as usize))
+    }
+
+    /// Probe every level-`layer.level` prefix in `[run_lo, run_hi]`: is there a
+    /// prefix whose bits are set in all replicas? Uses masked word accesses —
+    /// one load per replica per touched word.
+    fn layer_run_any(
+        &self,
+        layer: &LayerRuntime,
+        run_lo: u64,
+        run_hi: u64,
+        budget: usize,
+        stats: &mut ProbeStats,
+    ) -> RunOutcome {
+        debug_assert!(run_lo <= run_hi);
+        let seg = &self.segments[layer.segment];
+        let wb = layer.word_bits as u64;
+        let mut group = run_lo >> layer.offset_bits;
+        let last_group = run_hi >> layer.offset_bits;
+        let mut words_touched = 0usize;
+        while group <= last_group {
+            words_touched += 1;
+            if words_touched > budget {
+                return RunOutcome::BudgetExceeded;
+            }
+            let g_lo = (group << layer.offset_bits).max(run_lo);
+            let g_hi = ((group << layer.offset_bits) + (wb - 1)).min(run_hi);
+            // In-word offsets; the alternating layout reverses the range but it
+            // stays contiguous, so a single mask still covers it.
+            let ref_hash = &layer.hashers[0];
+            let o_lo = ref_hash.apply_layout(group, g_lo & (wb - 1));
+            let o_hi = ref_hash.apply_layout(group, g_hi & (wb - 1));
+            let (m_lo, m_hi) = if o_lo <= o_hi { (o_lo, o_hi) } else { (o_hi, o_lo) };
+            let mask = mask_between(m_lo as usize, m_hi as usize);
+            let mut combined = u64::MAX;
+            for h in &layer.hashers {
+                stats.word_accesses += 1;
+                let widx = h.word_index_of_hashed(group, layer.word_count);
+                let start = (widx * wb) as usize;
+                combined &= seg.load_word(start, layer.word_bits);
+                if combined & mask == 0 {
+                    break;
+                }
+            }
+            if combined & mask != 0 {
+                return RunOutcome::Found;
+            }
+            group += 1;
+        }
+        RunOutcome::Empty
+    }
+
+    /// Occupancy (fraction of set bits) of each probabilistic segment —
+    /// exposed for the scatter analysis and the FPR model validation.
+    pub fn segment_load_factors(&self) -> Vec<f64> {
+        self.segments
+            .iter()
+            .map(|s| s.count_ones() as f64 / s.capacity_bits().max(1) as f64)
+            .collect()
+    }
+
+    /// Snapshot the probabilistic segments (index 0..S) and the exact bitmap
+    /// (last, if present) as plain bit vectors.
+    pub fn snapshot_bits(&self) -> Vec<crate::bitarray::BitVec> {
+        let mut out: Vec<_> = self.segments.iter().map(|s| s.snapshot()).collect();
+        if let Some(e) = &self.exact {
+            out.push(e.snapshot());
+        }
+        out
+    }
+
+    /// Serialize the filter (configuration + bit arrays) into a byte buffer,
+    /// as the LSM substrate stores it in an SST filter block.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"BLRF");
+        out.extend_from_slice(&1u32.to_le_bytes()); // format version
+        out.extend_from_slice(&self.config.domain_bits.to_le_bytes());
+        out.extend_from_slice(&(self.config.layers.len() as u32).to_le_bytes());
+        for l in &self.config.layers {
+            out.extend_from_slice(&l.level.to_le_bytes());
+            out.extend_from_slice(&l.gap.to_le_bytes());
+            out.extend_from_slice(&l.replicas.to_le_bytes());
+            out.extend_from_slice(&(l.segment as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.config.segment_bits.len() as u32).to_le_bytes());
+        for s in &self.config.segment_bits {
+            out.extend_from_slice(&(*s as u64).to_le_bytes());
+        }
+        let exact_level: i64 = self.config.exact_level.map(|e| e as i64).unwrap_or(-1);
+        out.extend_from_slice(&exact_level.to_le_bytes());
+        out.extend_from_slice(&self.config.hash_seed.to_le_bytes());
+        out.extend_from_slice(&self.key_count().to_le_bytes());
+        for bv in self.snapshot_bits() {
+            let bytes = bv.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Reconstruct a filter from [`BloomRf::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut cur = 0usize;
+        let take = |cur: &mut usize, n: usize| -> Option<&[u8]> {
+            if *cur + n > bytes.len() {
+                return None;
+            }
+            let s = &bytes[*cur..*cur + n];
+            *cur += n;
+            Some(s)
+        };
+        if take(&mut cur, 4)? != b"BLRF" {
+            return None;
+        }
+        let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
+        if version != 1 {
+            return None;
+        }
+        let domain_bits = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
+        let n_layers = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let level = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
+            let gap = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
+            let replicas = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
+            let segment = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+            layers.push(crate::config::LayerSpec::new(level, gap, replicas, segment));
+        }
+        let n_segments = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+        let mut segment_bits = Vec::with_capacity(n_segments);
+        for _ in 0..n_segments {
+            segment_bits.push(u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?) as usize);
+        }
+        let exact_level_raw = i64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
+        let exact_level = if exact_level_raw < 0 { None } else { Some(exact_level_raw as u32) };
+        let hash_seed = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
+        let key_count = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
+        let config =
+            BloomRfConfig::new(domain_bits, layers, segment_bits, exact_level, hash_seed).ok()?;
+        let filter = Self::new(config).ok()?;
+        // Restore bit arrays.
+        let expected = filter.segments.len() + usize::from(filter.exact.is_some());
+        let mut arrays = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            let len = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?) as usize;
+            let bv = crate::bitarray::BitVec::from_bytes(take(&mut cur, len)?)?;
+            arrays.push(bv);
+        }
+        for (seg, bv) in filter.segments.iter().zip(arrays.iter()) {
+            for (i, word) in bv.words().iter().enumerate() {
+                if *word != 0 {
+                    seg.or_word(i * 64, 64, *word);
+                }
+            }
+        }
+        if let Some(exact) = &filter.exact {
+            let bv = arrays.last()?;
+            for (i, word) in bv.words().iter().enumerate() {
+                if *word != 0 {
+                    exact.or_word(i * 64, 64, *word);
+                }
+            }
+        }
+        filter.key_count.store(key_count, Ordering::Relaxed);
+        Some(filter)
+    }
+}
+
+/// Outcome of probing a run of sibling prefixes on one layer.
+enum RunOutcome {
+    Found,
+    Empty,
+    BudgetExceeded,
+}
+
+/// Start of the dyadic interval with `prefix` on `level`.
+#[inline]
+fn di_start(prefix: u64, level: u32) -> u64 {
+    shl(prefix, level)
+}
+
+/// Inclusive end of the dyadic interval with `prefix` on `level`.
+#[inline]
+fn di_end(prefix: u64, level: u32) -> u64 {
+    if level >= 64 {
+        u64::MAX
+    } else {
+        shl(prefix, level) | ((1u64 << level) - 1)
+    }
+}
+
+impl PointRangeFilter for BloomRf {
+    fn name(&self) -> &'static str {
+        "bloomRF"
+    }
+    fn may_contain(&self, key: u64) -> bool {
+        self.contains_point(key)
+    }
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        self.contains_range(lo, hi)
+    }
+    fn memory_bits(&self) -> usize {
+        self.memory_bits()
+    }
+}
+
+impl OnlineFilter for BloomRf {
+    fn insert(&mut self, key: u64) {
+        BloomRf::insert(self, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LayerSpec;
+
+    fn basic_filter(keys: &[u64], domain_bits: u32, bits_per_key: f64, delta: u32) -> BloomRf {
+        let f = BloomRf::basic(domain_bits, keys.len(), bits_per_key, delta).unwrap();
+        for &k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    #[test]
+    fn no_false_negatives_for_points() {
+        let keys: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) >> 1).collect();
+        let f = basic_filter(&keys, 64, 12.0, 7);
+        for &k in &keys {
+            assert!(f.contains_point(k), "false negative for {k}");
+        }
+        assert_eq!(f.key_count(), keys.len() as u64);
+    }
+
+    #[test]
+    fn no_false_negatives_for_ranges_containing_keys() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i * 1_000_003 + 17).collect();
+        let f = basic_filter(&keys, 64, 14.0, 7);
+        for &k in keys.iter().step_by(37) {
+            assert!(f.contains_range(k, k), "point range missing {k}");
+            assert!(f.contains_range(k.saturating_sub(5), k + 5));
+            assert!(f.contains_range(k.saturating_sub(1000), k + 1000));
+            assert!(f.contains_range(0, u64::MAX));
+            assert!(f.contains_range(k, k + (1 << 20)));
+        }
+    }
+
+    #[test]
+    fn empty_ranges_are_mostly_rejected() {
+        // Uniformly placed query ranges that contain no key should be rejected
+        // with high probability at 18 bits/key (the paper's model predicts an
+        // FPR of ~0.3% for ranges of 2^10 at this budget; we assert a loose 5%).
+        let mut keys: Vec<u64> = (0..2000u64).map(crate::hashing::mix64).collect();
+        keys.sort_unstable();
+        let f = basic_filter(&keys, 64, 18.0, 7);
+        let mut false_positives = 0;
+        let mut total = 0;
+        for i in 0..4000u64 {
+            let lo = crate::hashing::mix64(i.wrapping_mul(0x1234_5678_9abc_def1) + 7);
+            let hi = match lo.checked_add(1 << 10) {
+                Some(h) => h,
+                None => continue,
+            };
+            // Skip the rare ranges that actually contain a key.
+            let idx = keys.partition_point(|&k| k < lo);
+            if idx < keys.len() && keys[idx] <= hi {
+                continue;
+            }
+            total += 1;
+            if f.contains_range(lo, hi) {
+                false_positives += 1;
+            }
+        }
+        assert!(total > 3000, "workload generation produced too few empty ranges");
+        let fpr = false_positives as f64 / total as f64;
+        assert!(fpr < 0.05, "range FPR too high: {fpr}");
+    }
+
+    #[test]
+    fn degenerate_distribution_is_documented_and_mitigated() {
+        // Keys of the form i << 32 have identical low bits on every layer below
+        // level 32, which defeats the order-preserving part of the PMHF
+        // (Sect. 3.2 "Degenerate data distributions"): probes that share the
+        // same in-word offset collide with almost every key. The alternating
+        // word layout spreads half of the keys to the mirrored offset, which
+        // must not make things worse and typically helps.
+        let keys: Vec<u64> = (0..1000u64).map(|i| i << 32).collect();
+        let measure = |layout: crate::hashing::WordLayout| {
+            let cfg = BloomRfConfig::basic(64, keys.len(), 18.0, 7).unwrap().with_word_layout(layout);
+            let f = BloomRf::new(cfg).unwrap();
+            for &k in &keys {
+                f.insert(k);
+            }
+            let mut fp = 0usize;
+            for i in 0..999u64 {
+                let lo = (i << 32) + (1 << 20);
+                if f.contains_range(lo, lo + (1 << 10)) {
+                    fp += 1;
+                }
+            }
+            fp
+        };
+        let forward = measure(crate::hashing::WordLayout::Forward);
+        let alternating = measure(crate::hashing::WordLayout::Alternating);
+        assert!(forward > 500, "the degenerate pattern should hurt the forward layout");
+        assert!(alternating <= forward, "alternating layout must not be worse");
+    }
+
+    #[test]
+    fn point_fpr_is_reasonable() {
+        let n = 20_000u64;
+        let mut keys: Vec<u64> = (0..n).map(|i| crate::hashing::mix64(i)).collect();
+        keys.sort_unstable();
+        let f = basic_filter(&keys, 64, 12.0, 7);
+        let mut fp = 0;
+        let trials = 20_000u64;
+        for i in 0..trials {
+            let probe = crate::hashing::mix64(i + n * 17);
+            if keys.binary_search(&probe).is_err() && f.contains_point(probe) {
+                fp += 1;
+            }
+        }
+        let fpr = fp as f64 / trials as f64;
+        assert!(fpr < 0.05, "point FPR too high: {fpr}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomRf::basic(64, 100, 10.0, 7).unwrap();
+        assert!(!f.contains_point(42));
+        assert!(!f.contains_range(0, u64::MAX));
+        assert!(!f.contains_range(5, 5));
+        assert_eq!(f.key_count(), 0);
+    }
+
+    #[test]
+    fn degenerate_interval_and_reversed_bounds() {
+        let f = basic_filter(&[100, 200, 300], 64, 16.0, 7);
+        assert!(f.contains_range(100, 100));
+        assert!(!f.contains_range(400, 300), "reversed bounds are an empty interval");
+        assert!(f.contains_range(0, 99) == f.contains_range(0, 99)); // deterministic
+    }
+
+    #[test]
+    fn paper_example_prefix_query_semantics() {
+        // Introductory example (Sect. 3.1): X = {42, 1414, 50000}, d = 16.
+        // [32, 47] contains 42 → positive; [48, 63] must be negative
+        // (it is probed via prefix 0x003 which no key has on level 4).
+        let keys = [42u64, 1414, 50000];
+        let f = basic_filter(&keys, 16, 20.0, 4);
+        assert!(f.contains_range(32, 47));
+        assert!(f.contains_range(42, 43));
+        assert!(f.contains_range(1400, 1420));
+        assert!(f.contains_range(0, 65535));
+        // All three keys found as points.
+        for &k in &keys {
+            assert!(f.contains_point(k));
+        }
+    }
+
+    #[test]
+    fn paper_figure7_interval_is_negative_without_keys_in_it() {
+        // I = [45, 60] with the example key set {42, 1414, 50000}: no key lies
+        // in I. With a generous budget the filter should reject it (the paper
+        // uses this interval to illustrate the decomposition).
+        let keys = [42u64, 1414, 50000];
+        let f = basic_filter(&keys, 16, 40.0, 4);
+        // Regardless of the FPR outcome, a range containing 42 is positive:
+        assert!(f.contains_range(40, 60));
+        // and the exact decomposition example is evaluated without panicking:
+        let (_, stats) = f.contains_range_counted(45, 60);
+        assert!(stats.layers_visited >= 1);
+    }
+
+    #[test]
+    fn range_lookup_cost_is_bounded_by_layers() {
+        // Constant query complexity: word accesses are bounded by ~4 per layer
+        // plus replica factor, independent of the range size.
+        let keys: Vec<u64> = (0..50_000u64).map(|i| crate::hashing::mix64(i)).collect();
+        let f = basic_filter(&keys, 64, 14.0, 7);
+        let k = f.config().num_layers();
+        for exp in [4u32, 10, 20, 30, 40, 50] {
+            let lo = 1u64 << 33;
+            let hi = lo + (1u64 << exp);
+            let (_, stats) = f.contains_range_counted(lo, hi);
+            assert!(
+                stats.word_accesses <= 6 * k,
+                "range 2^{exp}: {} word accesses exceeds 6*k = {}",
+                stats.word_accesses,
+                6 * k
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_policy_never_false_negative() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 7919).collect();
+        let cfg = BloomRfConfig::basic(64, keys.len(), 12.0, 7)
+            .unwrap()
+            .with_range_policy(RangePolicy::Conservative { max_words_per_layer: 2 });
+        let f = BloomRf::new(cfg).unwrap();
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in keys.iter().step_by(97) {
+            assert!(f.contains_range(k.saturating_sub(10_000), k.saturating_add(10_000)));
+            assert!(f.contains_range(0, u64::MAX));
+        }
+    }
+
+    #[test]
+    fn extended_filter_with_exact_layer() {
+        // Build an extended configuration by hand: bottom layers with gap 7,
+        // a mid layer with gap 4 and an exact layer at level 32 for a 48-bit domain.
+        let layers = vec![
+            LayerSpec::new(0, 7, 1, 1),
+            LayerSpec::new(7, 7, 1, 1),
+            LayerSpec::new(14, 7, 1, 1),
+            LayerSpec::new(21, 7, 1, 1),
+            LayerSpec::new(28, 4, 2, 0),
+        ];
+        let cfg = BloomRfConfig::new(48, layers, vec![1 << 16, 1 << 18], Some(32), 77).unwrap();
+        let f = BloomRf::new(cfg).unwrap();
+        let keys: Vec<u64> = (0..20_000u64).map(|i| crate::hashing::mix64(i) >> 16).collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in keys.iter().step_by(53) {
+            assert!(f.contains_point(k));
+            assert!(f.contains_range(k.saturating_sub(100), k + 100));
+            assert!(f.contains_range(k & !0xFFFF_FFFF, k | 0xFFFF_FFFF));
+        }
+        // Exact layer: a dyadic interval at level 32 with no keys is rejected
+        // with certainty.
+        let occupied: std::collections::HashSet<u64> = keys.iter().map(|k| k >> 32).collect();
+        let free_prefix = (0u64..).find(|p| !occupied.contains(p)).unwrap();
+        let lo = free_prefix << 32;
+        let hi = lo | 0xFFFF_FFFF;
+        assert!(!f.contains_range(lo, hi), "exact layer must reject an empty level-32 interval");
+        assert!(!f.contains_point(lo + 12345));
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_answers() {
+        let keys: Vec<u64> = (0..5000u64).map(|i| i * 104729 + 3).collect();
+        let f = basic_filter(&keys, 64, 14.0, 7);
+        let bytes = f.to_bytes();
+        let g = BloomRf::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(g.key_count(), f.key_count());
+        for i in 0..2000u64 {
+            let probe = i * 55441 + 7;
+            assert_eq!(f.contains_point(probe), g.contains_point(probe), "point {probe}");
+            let lo = probe;
+            let hi = probe + 100_000;
+            assert_eq!(f.contains_range(lo, hi), g.contains_range(lo, hi), "range {probe}");
+        }
+        // Corrupted input is rejected, not mis-parsed.
+        assert!(BloomRf::from_bytes(&bytes[..bytes.len() / 2]).is_none());
+        assert!(BloomRf::from_bytes(b"garbage").is_none());
+    }
+
+    #[test]
+    fn concurrent_online_inserts_and_queries() {
+        use std::sync::Arc;
+        let f = Arc::new(BloomRf::basic(64, 100_000, 12.0, 7).unwrap());
+        let writer = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    f.insert(crate::hashing::mix64(i));
+                }
+            })
+        };
+        let reader = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                let mut positives = 0usize;
+                for i in 0..50_000u64 {
+                    if f.contains_point(crate::hashing::mix64(i)) {
+                        positives += 1;
+                    }
+                }
+                positives
+            })
+        };
+        writer.join().unwrap();
+        let _ = reader.join().unwrap();
+        // After the writer finished, every key must be visible.
+        for i in (0..50_000u64).step_by(101) {
+            assert!(f.contains_point(crate::hashing::mix64(i)));
+        }
+    }
+
+    #[test]
+    fn out_of_domain_keys() {
+        let f = BloomRf::basic(16, 100, 10.0, 4).unwrap();
+        f.insert(65535);
+        assert!(f.contains_point(65535));
+        assert!(!f.contains_point(65536), "key beyond the domain is never present");
+        assert!(f.contains_range(60_000, 1 << 20), "range is clamped to the domain");
+        let caught = std::panic::catch_unwind(|| f.insert(1 << 16));
+        assert!(caught.is_err(), "inserting an out-of-domain key must panic");
+    }
+
+    #[test]
+    fn probe_stats_accumulate() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 31337).collect();
+        let f = basic_filter(&keys, 64, 12.0, 7);
+        let (ans, stats) = f.contains_range_counted(1 << 30, (1 << 30) + (1 << 22));
+        let _ = ans;
+        assert!(stats.layers_visited > 0);
+        assert!(stats.word_accesses + stats.bit_checks > 0);
+    }
+}

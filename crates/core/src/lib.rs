@@ -1,0 +1,77 @@
+//! # bloomRF — a unified point-range filter
+//!
+//! This crate is a from-scratch Rust implementation of **bloomRF** (Mößner,
+//! Riegger, Bernhardt, Petrov: *"bloomRF: On Performing Range-Queries in
+//! Bloom-Filters with Piecewise-Monotone Hash Functions and Prefix Hashing"*,
+//! EDBT 2023). bloomRF extends Bloom filters with range lookups while keeping
+//! their strengths: it is *online* (keys can be inserted at any time, even
+//! concurrently with queries), has near-optimal space complexity and answers
+//! both point and range queries in constant time, independent of the
+//! query-range size.
+//!
+//! ## Core ideas
+//!
+//! * **Prefix hashing** — the hash code of a key is a sequence of hashes of its
+//!   *prefixes* on a set of dyadic levels, so the code itself encodes range
+//!   information: testing a prefix of the code tests a whole dyadic interval.
+//! * **Piecewise-monotone hash functions (PMHF)** — each hash preserves the
+//!   order of the least-significant bits of its prefix, so sibling dyadic
+//!   intervals occupy adjacent bits of one machine word and an entire run can
+//!   be probed with a single masked word access.
+//! * **Two-path range lookup** — an arbitrary query interval is decomposed
+//!   along the prefix paths of its two bounds; coverings are single-bit checks
+//!   with early termination, decomposition runs are word probes.
+//! * **Extended tuning** (Sect. 7) — variable level distances, replicated hash
+//!   functions, memory segments and an exactly-stored mid-upper level extend
+//!   the basic filter to very large query ranges; a [`advisor::TuningAdvisor`]
+//!   picks the configuration for a given space budget and range size.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bloomrf::BloomRf;
+//!
+//! // 1M keys, ~14 bits/key, tuning-free basic filter.
+//! let filter = BloomRf::basic(64, 1_000_000, 14.0, 7).unwrap();
+//! filter.insert(42);
+//! filter.insert(4711);
+//!
+//! assert!(filter.contains_point(42));
+//! assert!(filter.contains_range(40, 50));        // contains 42
+//! assert!(filter.contains_range(4000, 5000));    // contains 4711
+//! // Ranges without keys are rejected with high probability:
+//! let _maybe = filter.contains_range(100_000, 200_000);
+//! ```
+//!
+//! For large query ranges, let the advisor pick an extended configuration:
+//!
+//! ```
+//! use bloomrf::advisor::TuningAdvisor;
+//! use bloomrf::BloomRf;
+//!
+//! let tuned = TuningAdvisor::tune_for(64, 100_000, 16.0, 1e8).unwrap();
+//! let filter = BloomRf::new(tuned.config).unwrap();
+//! filter.insert(123_456_789);
+//! assert!(filter.contains_range(0, 1_000_000_000));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod advisor;
+pub mod bitarray;
+pub mod config;
+pub mod dyadic;
+pub mod encode;
+pub mod error;
+pub mod filter;
+pub mod hashing;
+pub mod model;
+pub mod traits;
+
+pub use advisor::{AdvisorParams, TunedConfig, TuningAdvisor};
+pub use config::{BloomRfConfig, LayerSpec, RangePolicy};
+pub use encode::{decode_f64, decode_i64, encode_f64, encode_i64, MultiAttrBloomRf};
+pub use error::ConfigError;
+pub use filter::{BloomRf, ProbeStats};
+pub use traits::{FilterBuilder, OnlineFilter, PointRangeFilter};

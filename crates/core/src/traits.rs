@@ -1,0 +1,120 @@
+//! Common traits implemented by bloomRF and all baseline filters so that the
+//! LSM substrate and the benchmark harness can treat them uniformly.
+
+/// An approximate membership filter supporting point and (optionally) range
+/// queries over `u64` keys. "May contain" semantics: `false` is definite,
+/// `true` may be a false positive.
+pub trait PointRangeFilter: Send + Sync {
+    /// Human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Approximate point membership test.
+    fn may_contain(&self, key: u64) -> bool;
+
+    /// Approximate range emptiness test for the inclusive interval `[lo, hi]`.
+    ///
+    /// Filters that do not support range queries (e.g. a plain Bloom filter)
+    /// must answer conservatively (`true`).
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool;
+
+    /// Memory footprint of the filter payload in bits.
+    fn memory_bits(&self) -> usize;
+
+    /// Bits per key for a given key count.
+    fn bits_per_key(&self, n_keys: usize) -> f64 {
+        self.memory_bits() as f64 / n_keys.max(1) as f64
+    }
+}
+
+/// A filter that supports online insertion (bloomRF, Bloom, Prefix-Bloom,
+/// Rosetta, Cuckoo, fence pointers). SuRF is built offline from sorted keys
+/// and only implements [`StaticFilterBuilder`].
+pub trait OnlineFilter: PointRangeFilter {
+    /// Insert a key. Duplicate inserts are permitted and idempotent from the
+    /// caller's perspective.
+    fn insert(&mut self, key: u64);
+
+    /// Bulk-insert convenience.
+    fn insert_all(&mut self, keys: &[u64]) {
+        for &k in keys {
+            self.insert(k);
+        }
+    }
+}
+
+/// Builder for filters constructed from the full (not necessarily sorted) key
+/// set with a target space budget, mirroring how RocksDB constructs a filter
+/// block per SST file.
+pub trait FilterBuilder: Send + Sync {
+    /// The concrete filter type produced.
+    type Filter: PointRangeFilter;
+
+    /// Descriptive name of the family (e.g. `"bloomRF"`, `"Rosetta"`).
+    fn family(&self) -> &'static str;
+
+    /// Build a filter over `keys` using roughly `bits_per_key` bits per key.
+    fn build(&self, keys: &[u64], bits_per_key: f64) -> Self::Filter;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysYes;
+    impl PointRangeFilter for AlwaysYes {
+        fn name(&self) -> &'static str {
+            "yes"
+        }
+        fn may_contain(&self, _key: u64) -> bool {
+            true
+        }
+        fn may_contain_range(&self, _lo: u64, _hi: u64) -> bool {
+            true
+        }
+        fn memory_bits(&self) -> usize {
+            128
+        }
+    }
+
+    #[test]
+    fn default_bits_per_key() {
+        let f = AlwaysYes;
+        assert!((f.bits_per_key(16) - 8.0).abs() < f64::EPSILON);
+        assert!((f.bits_per_key(0) - 128.0).abs() < f64::EPSILON);
+        assert!(f.may_contain(1) && f.may_contain_range(0, 10));
+        assert_eq!(f.name(), "yes");
+    }
+
+    struct CountingFilter {
+        keys: Vec<u64>,
+    }
+    impl PointRangeFilter for CountingFilter {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn may_contain(&self, key: u64) -> bool {
+            self.keys.contains(&key)
+        }
+        fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+            self.keys.iter().any(|&k| k >= lo && k <= hi)
+        }
+        fn memory_bits(&self) -> usize {
+            self.keys.len() * 64
+        }
+    }
+    impl OnlineFilter for CountingFilter {
+        fn insert(&mut self, key: u64) {
+            self.keys.push(key);
+        }
+    }
+
+    #[test]
+    fn insert_all_uses_insert() {
+        let mut f = CountingFilter { keys: vec![] };
+        f.insert_all(&[1, 2, 3]);
+        assert!(f.may_contain(2));
+        assert!(!f.may_contain(5));
+        assert!(f.may_contain_range(3, 10));
+        assert!(!f.may_contain_range(4, 10));
+    }
+}

@@ -1,0 +1,184 @@
+//! A bit vector with constant-time rank and (near) constant-time select,
+//! used by the succinct LOUDS-Sparse trie of the SuRF baseline.
+
+use bloomrf::bitarray::BitVec;
+
+/// Immutable bit vector with rank/select support.
+///
+/// Rank uses a two-level directory (one `u32` cumulative count per 64-bit
+/// word); select binary-searches the directory and scans one word.
+#[derive(Clone, Debug)]
+pub struct RankSelectBitVec {
+    bits: BitVec,
+    /// cumulative number of ones *before* each word.
+    rank_dir: Vec<u32>,
+    total_ones: usize,
+}
+
+impl RankSelectBitVec {
+    /// Build the rank/select directory over a finished bit vector.
+    pub fn new(bits: BitVec) -> Self {
+        let words = bits.words();
+        let mut rank_dir = Vec::with_capacity(words.len() + 1);
+        let mut acc: u32 = 0;
+        for w in words {
+            rank_dir.push(acc);
+            acc += w.count_ones();
+        }
+        rank_dir.push(acc);
+        Self { bits, rank_dir, total_ones: acc as usize }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.len() == 0
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.total_ones
+    }
+
+    /// Read bit `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        self.bits.get(idx)
+    }
+
+    /// Number of ones in positions `[0, idx)`.
+    #[inline]
+    pub fn rank1(&self, idx: usize) -> usize {
+        debug_assert!(idx <= self.bits.len());
+        let word = idx / 64;
+        let base = self.rank_dir[word] as usize;
+        let rem = idx % 64;
+        if rem == 0 {
+            base
+        } else {
+            let mask = if rem == 64 { u64::MAX } else { (1u64 << rem) - 1 };
+            base + (self.bits.words()[word] & mask).count_ones() as usize
+        }
+    }
+
+    /// Number of zeros in positions `[0, idx)`.
+    #[inline]
+    pub fn rank0(&self, idx: usize) -> usize {
+        idx - self.rank1(idx)
+    }
+
+    /// Position of the `k`-th one (0-indexed). Panics if `k >= count_ones()`.
+    pub fn select1(&self, k: usize) -> usize {
+        assert!(k < self.total_ones, "select1({k}) out of range ({} ones)", self.total_ones);
+        // Binary search the word whose cumulative rank covers k.
+        let mut lo = 0usize;
+        let mut hi = self.rank_dir.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if (self.rank_dir[mid] as usize) <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut remaining = k - self.rank_dir[lo] as usize;
+        let mut word = self.bits.words()[lo];
+        let pos = lo * 64;
+        loop {
+            debug_assert!(word != 0, "select directory inconsistent");
+            let tz = word.trailing_zeros() as usize;
+            if remaining == 0 {
+                return pos + tz;
+            }
+            remaining -= 1;
+            word &= word - 1; // clear lowest set bit
+            let _ = tz;
+        }
+    }
+
+    /// Memory footprint in bits (payload + rank directory).
+    pub fn memory_bits(&self) -> usize {
+        self.bits.capacity_bits() + self.rank_dir.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(pattern: &[usize], len: usize) -> RankSelectBitVec {
+        let mut bv = BitVec::new(len);
+        for &p in pattern {
+            bv.set(p);
+        }
+        RankSelectBitVec::new(bv)
+    }
+
+    #[test]
+    fn rank_and_select_small() {
+        let rs = build(&[0, 3, 64, 65, 127, 200], 256);
+        assert_eq!(rs.count_ones(), 6);
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.rank1(1), 1);
+        assert_eq!(rs.rank1(4), 2);
+        assert_eq!(rs.rank1(64), 2);
+        assert_eq!(rs.rank1(66), 4);
+        assert_eq!(rs.rank1(256), 6);
+        assert_eq!(rs.rank0(256), 250);
+        assert_eq!(rs.select1(0), 0);
+        assert_eq!(rs.select1(1), 3);
+        assert_eq!(rs.select1(2), 64);
+        assert_eq!(rs.select1(3), 65);
+        assert_eq!(rs.select1(4), 127);
+        assert_eq!(rs.select1(5), 200);
+    }
+
+    #[test]
+    fn rank_select_are_inverse() {
+        // Pseudo-random pattern.
+        let len = 10_000;
+        let mut bv = BitVec::new(len);
+        let mut ones = Vec::new();
+        for i in 0..len {
+            if bloomrf::hashing::mix64(i as u64) % 3 == 0 {
+                bv.set(i);
+                ones.push(i);
+            }
+        }
+        let rs = RankSelectBitVec::new(bv);
+        assert_eq!(rs.count_ones(), ones.len());
+        for (k, &pos) in ones.iter().enumerate() {
+            assert_eq!(rs.select1(k), pos, "select1({k})");
+            assert_eq!(rs.rank1(pos), k, "rank1({pos})");
+            assert_eq!(rs.rank1(pos + 1), k + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_full_vectors() {
+        let rs = build(&[], 128);
+        assert_eq!(rs.count_ones(), 0);
+        assert_eq!(rs.rank1(128), 0);
+        assert_eq!(rs.rank0(128), 128);
+
+        let mut bv = BitVec::new(128);
+        for i in 0..128 {
+            bv.set(i);
+        }
+        let rs = RankSelectBitVec::new(bv);
+        assert_eq!(rs.count_ones(), 128);
+        assert_eq!(rs.select1(127), 127);
+        assert_eq!(rs.rank1(64), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn select_out_of_range_panics() {
+        let rs = build(&[1, 2], 64);
+        let _ = rs.select1(2);
+    }
+}

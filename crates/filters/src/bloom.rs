@@ -1,0 +1,208 @@
+//! Classical Bloom filter (Bloom 1970), in the "full filter" style used by
+//! RocksDB and LevelDB: one bit array per SST file, `k ≈ bits_per_key·ln 2`
+//! hash functions derived by double hashing (Kirsch–Mitzenmacher).
+//!
+//! Bloom filters only support point lookups; range probes conservatively
+//! answer "maybe" — which is exactly why the paper's Fig. 9/10 shows them as a
+//! baseline that cannot prune empty range scans.
+
+use bloomrf::bitarray::BitVec;
+use bloomrf::hashing::{double_hash, mix64};
+use bloomrf::traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+
+/// A standard Bloom filter over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: BitVec,
+    num_hashes: u32,
+    seed: u64,
+}
+
+impl BloomFilter {
+    /// Create a filter with an explicit bit count (rounded up to a whole
+    /// 64-bit word) and hash-function count.
+    pub fn new(m_bits: usize, num_hashes: u32) -> Self {
+        let m = m_bits.max(64).div_ceil(64) * 64;
+        Self {
+            bits: BitVec::new(m),
+            num_hashes: num_hashes.clamp(1, 30),
+            seed: 0x5eed_b100_0f11,
+        }
+    }
+
+    /// Create a filter sized for `n_keys` keys at `bits_per_key`, with the
+    /// FPR-optimal number of hash functions `k = round(bits_per_key · ln 2)`
+    /// (RocksDB floors this value; we round to the nearest integer).
+    pub fn with_bits_per_key(n_keys: usize, bits_per_key: f64) -> Self {
+        let m = ((n_keys.max(1) as f64) * bits_per_key).ceil() as usize;
+        let k = (bits_per_key * std::f64::consts::LN_2).round().max(1.0) as u32;
+        Self::new(m, k)
+    }
+
+    /// LevelDB-style construction: same sizing rule, but `k` floored as the
+    /// original implementation does (used for the Fig. 12.E comparison).
+    pub fn leveldb_style(n_keys: usize, bits_per_key: f64) -> Self {
+        let m = ((n_keys.max(1) as f64) * bits_per_key).ceil() as usize;
+        let k = (bits_per_key * std::f64::consts::LN_2).floor().max(1.0) as u32;
+        Self::new(m, k)
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    #[inline]
+    fn probe_positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let m = self.bits.capacity_bits() as u64;
+        let h1 = mix64(key ^ self.seed);
+        let h2 = mix64(h1 ^ 0x9e3779b97f4a7c15);
+        (0..self.num_hashes as u64).map(move |i| double_hash(h1, h2, i, m) as usize)
+    }
+
+    /// Insert a key.
+    pub fn insert_key(&mut self, key: u64) {
+        let positions: Vec<usize> = self.probe_positions(key).collect();
+        for p in positions {
+            self.bits.set(p);
+        }
+    }
+
+    /// Point membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        self.probe_positions(key).all(|p| self.bits.get(p))
+    }
+
+    /// Fraction of set bits (diagnostics, Fig. 5 comparison).
+    pub fn load_factor(&self) -> f64 {
+        self.bits.count_ones() as f64 / self.bits.capacity_bits() as f64
+    }
+
+    /// Access to the raw bit array (scatter analysis).
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+impl PointRangeFilter for BloomFilter {
+    fn name(&self) -> &'static str {
+        "Bloom"
+    }
+    fn may_contain(&self, key: u64) -> bool {
+        self.contains(key)
+    }
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        // A Bloom filter cannot answer range queries; it can only help when the
+        // range degenerates to a point.
+        if lo == hi {
+            self.contains(lo)
+        } else {
+            lo <= hi
+        }
+    }
+    fn memory_bits(&self) -> usize {
+        self.bits.capacity_bits()
+    }
+}
+
+impl OnlineFilter for BloomFilter {
+    fn insert(&mut self, key: u64) {
+        self.insert_key(key);
+    }
+}
+
+/// Builder producing [`BloomFilter`]s for the LSM substrate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BloomFilterBuilder;
+
+impl FilterBuilder for BloomFilterBuilder {
+    type Filter = BloomFilter;
+    fn family(&self) -> &'static str {
+        "Bloom"
+    }
+    fn build(&self, keys: &[u64], bits_per_key: f64) -> BloomFilter {
+        let mut f = BloomFilter::with_bits_per_key(keys.len(), bits_per_key);
+        for &k in keys {
+            f.insert_key(k);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u64> = (0..10_000u64).map(mix64).collect();
+        let mut f = BloomFilter::with_bits_per_key(keys.len(), 10.0);
+        for &k in &keys {
+            f.insert_key(k);
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn fpr_close_to_theory() {
+        let n = 20_000usize;
+        let keys: Vec<u64> = (0..n as u64).map(mix64).collect();
+        let mut f = BloomFilter::with_bits_per_key(n, 10.0);
+        for &k in &keys {
+            f.insert_key(k);
+        }
+        let mut fp = 0usize;
+        let trials = 50_000u64;
+        for i in 0..trials {
+            if f.contains(mix64(i + 1_000_000_000)) {
+                fp += 1;
+            }
+        }
+        let fpr = fp as f64 / trials as f64;
+        // Theory: ~0.8% at 10 bits/key with 7 hashes; accept up to 2.5%.
+        assert!(fpr < 0.025, "FPR {fpr} too high");
+        assert!(fpr > 0.0005, "FPR {fpr} suspiciously low — probes broken?");
+    }
+
+    #[test]
+    fn hash_count_follows_bits_per_key() {
+        assert_eq!(BloomFilter::with_bits_per_key(10, 10.0).num_hashes(), 7);
+        assert_eq!(BloomFilter::leveldb_style(10, 10.0).num_hashes(), 6);
+        assert_eq!(BloomFilter::with_bits_per_key(10, 2.0).num_hashes(), 1);
+    }
+
+    #[test]
+    fn range_queries_are_conservative() {
+        let mut f = BloomFilter::with_bits_per_key(100, 10.0);
+        f.insert_key(500);
+        assert!(f.may_contain_range(0, 1000));
+        assert!(f.may_contain_range(2000, 3000), "cannot prune real ranges");
+        assert!(!f.may_contain_range(10, 5), "empty interval");
+        assert_eq!(f.may_contain_range(500, 500), true);
+        assert_eq!(f.may_contain_range(501, 501), f.contains(501));
+    }
+
+    #[test]
+    fn builder_builds_over_keys() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 3 + 1).collect();
+        let f = BloomFilterBuilder.build(&keys, 12.0);
+        assert_eq!(BloomFilterBuilder.family(), "Bloom");
+        for &k in &keys {
+            assert!(f.may_contain(k));
+        }
+        assert!(f.memory_bits() >= 12 * keys.len());
+        assert!((f.bits_per_key(keys.len()) - 12.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn load_factor_reasonable() {
+        let mut f = BloomFilter::with_bits_per_key(1000, 10.0);
+        for i in 0..1000u64 {
+            f.insert_key(mix64(i));
+        }
+        let lf = f.load_factor();
+        assert!((0.35..0.6).contains(&lf), "load factor {lf}");
+    }
+}

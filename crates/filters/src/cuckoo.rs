@@ -1,0 +1,258 @@
+//! Cuckoo filter (Fan et al., CoNEXT 2014): 4-way buckets of partial-key
+//! fingerprints with cuckoo eviction. A point-only baseline used in the
+//! standalone point-query comparison (Fig. 12.E of the paper), configured for
+//! ~95 % occupancy as in the evaluation.
+
+use bloomrf::hashing::mix64;
+use bloomrf::traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+
+const SLOTS_PER_BUCKET: usize = 4;
+const MAX_KICKS: usize = 500;
+
+/// A cuckoo filter over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct CuckooFilter {
+    /// Fingerprints; 0 means empty (fingerprints are never 0).
+    slots: Vec<u32>,
+    num_buckets: usize,
+    fingerprint_bits: u32,
+    len: usize,
+    /// Set when an insertion failed; the filter then answers conservatively.
+    overflowed: bool,
+    kick_state: u64,
+}
+
+impl CuckooFilter {
+    /// Create a filter with capacity for `n_keys` keys at roughly
+    /// `bits_per_key` bits per key and ~95 % target occupancy.
+    pub fn with_bits_per_key(n_keys: usize, bits_per_key: f64) -> Self {
+        // bits/key ≈ fingerprint_bits / load_factor → f = bpk · 0.95.
+        let fingerprint_bits = ((bits_per_key * 0.95).floor() as u32).clamp(2, 32);
+        let slots_needed = (n_keys.max(4) as f64 / 0.95).ceil() as usize;
+        let mut num_buckets = (slots_needed.div_ceil(SLOTS_PER_BUCKET)).next_power_of_two();
+        if num_buckets < 2 {
+            num_buckets = 2;
+        }
+        Self {
+            slots: vec![0u32; num_buckets * SLOTS_PER_BUCKET],
+            num_buckets,
+            fingerprint_bits,
+            len: 0,
+            overflowed: false,
+            kick_state: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Number of stored fingerprints.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no fingerprints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fingerprint size in bits.
+    pub fn fingerprint_bits(&self) -> u32 {
+        self.fingerprint_bits
+    }
+
+    /// Did any insertion fail (filter over capacity)?
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Current occupancy.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.slots.len() as f64
+    }
+
+    fn fingerprint(&self, key: u64) -> u32 {
+        let mask = if self.fingerprint_bits == 32 { u32::MAX } else { (1u32 << self.fingerprint_bits) - 1 };
+        let fp = (mix64(key ^ 0xF1_F2_F3_F4) as u32) & mask;
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    fn bucket1(&self, key: u64) -> usize {
+        (mix64(key) as usize) & (self.num_buckets - 1)
+    }
+
+    fn alt_bucket(&self, bucket: usize, fp: u32) -> usize {
+        (bucket ^ (mix64(fp as u64) as usize)) & (self.num_buckets - 1)
+    }
+
+    fn bucket_slots(&self, bucket: usize) -> &[u32] {
+        &self.slots[bucket * SLOTS_PER_BUCKET..(bucket + 1) * SLOTS_PER_BUCKET]
+    }
+
+    fn try_place(&mut self, bucket: usize, fp: u32) -> bool {
+        let start = bucket * SLOTS_PER_BUCKET;
+        for s in 0..SLOTS_PER_BUCKET {
+            if self.slots[start + s] == 0 {
+                self.slots[start + s] = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert a key; returns `false` (and flips the conservative overflow flag)
+    /// if the filter is too full.
+    pub fn insert_key(&mut self, key: u64) -> bool {
+        let fp = self.fingerprint(key);
+        let b1 = self.bucket1(key);
+        let b2 = self.alt_bucket(b1, fp);
+        if self.bucket_slots(b1).contains(&fp) || self.bucket_slots(b2).contains(&fp) {
+            self.len += 1;
+            return true;
+        }
+        if self.try_place(b1, fp) || self.try_place(b2, fp) {
+            self.len += 1;
+            return true;
+        }
+        // Cuckoo eviction.
+        let mut bucket = if mix64(key ^ self.kick_state) & 1 == 0 { b1 } else { b2 };
+        let mut fp = fp;
+        for _ in 0..MAX_KICKS {
+            self.kick_state = mix64(self.kick_state.wrapping_add(fp as u64));
+            let slot = (self.kick_state as usize) % SLOTS_PER_BUCKET;
+            let idx = bucket * SLOTS_PER_BUCKET + slot;
+            std::mem::swap(&mut fp, &mut self.slots[idx]);
+            bucket = self.alt_bucket(bucket, fp);
+            if self.try_place(bucket, fp) {
+                self.len += 1;
+                return true;
+            }
+        }
+        self.overflowed = true;
+        false
+    }
+
+    /// Point membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        if self.overflowed {
+            return true;
+        }
+        let fp = self.fingerprint(key);
+        let b1 = self.bucket1(key);
+        let b2 = self.alt_bucket(b1, fp);
+        self.bucket_slots(b1).contains(&fp) || self.bucket_slots(b2).contains(&fp)
+    }
+}
+
+impl PointRangeFilter for CuckooFilter {
+    fn name(&self) -> &'static str {
+        "Cuckoo"
+    }
+    fn may_contain(&self, key: u64) -> bool {
+        self.contains(key)
+    }
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        if lo == hi {
+            self.contains(lo)
+        } else {
+            lo <= hi
+        }
+    }
+    fn memory_bits(&self) -> usize {
+        // The honest payload cost: fingerprint_bits per slot.
+        self.slots.len() * self.fingerprint_bits as usize
+    }
+}
+
+impl OnlineFilter for CuckooFilter {
+    fn insert(&mut self, key: u64) {
+        let _ = self.insert_key(key);
+    }
+}
+
+/// Builder for [`CuckooFilter`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CuckooFilterBuilder;
+
+impl FilterBuilder for CuckooFilterBuilder {
+    type Filter = CuckooFilter;
+    fn family(&self) -> &'static str {
+        "Cuckoo"
+    }
+    fn build(&self, keys: &[u64], bits_per_key: f64) -> CuckooFilter {
+        let mut f = CuckooFilter::with_bits_per_key(keys.len(), bits_per_key);
+        for &k in keys {
+            let _ = f.insert_key(k);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_below_capacity() {
+        let keys: Vec<u64> = (0..50_000u64).map(mix64).collect();
+        let mut f = CuckooFilter::with_bits_per_key(keys.len(), 12.0);
+        for &k in &keys {
+            assert!(f.insert_key(k), "insert failed below design capacity");
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+        assert!(!f.overflowed());
+        assert!(f.load_factor() < 1.0);
+    }
+
+    #[test]
+    fn fpr_reasonable_at_12_bits() {
+        let n = 50_000usize;
+        let keys: Vec<u64> = (0..n as u64).map(mix64).collect();
+        let f = CuckooFilterBuilder.build(&keys, 12.0);
+        let mut fp = 0usize;
+        let trials = 50_000u64;
+        for i in 0..trials {
+            if f.contains(mix64(i + 10_000_000)) {
+                fp += 1;
+            }
+        }
+        let fpr = fp as f64 / trials as f64;
+        // 11-bit fingerprints, 4-way buckets: ~2·4/2^11 ≈ 0.4 %; accept < 2 %.
+        assert!(fpr < 0.02, "FPR {fpr}");
+    }
+
+    #[test]
+    fn overflow_turns_conservative() {
+        // Grossly undersized filter: insertions eventually fail, after which
+        // every query answers "maybe" (no false negatives, ever).
+        let mut f = CuckooFilter::with_bits_per_key(16, 8.0);
+        for i in 0..10_000u64 {
+            let _ = f.insert_key(i);
+        }
+        assert!(f.overflowed());
+        for i in 0..10_000u64 {
+            assert!(f.contains(i));
+        }
+    }
+
+    #[test]
+    fn range_queries_are_conservative() {
+        let mut f = CuckooFilter::with_bits_per_key(100, 12.0);
+        f.insert_key(77);
+        assert!(f.may_contain_range(0, 1000));
+        assert!(f.may_contain_range(77, 77));
+        assert!(!f.may_contain_range(50, 10));
+        assert_eq!(f.name(), "Cuckoo");
+        assert!(f.memory_bits() > 0);
+    }
+
+    #[test]
+    fn fingerprint_bits_track_budget() {
+        assert!(CuckooFilter::with_bits_per_key(100, 12.0).fingerprint_bits() >= 10);
+        assert!(CuckooFilter::with_bits_per_key(100, 8.0).fingerprint_bits() <= 8);
+        assert_eq!(CuckooFilter::with_bits_per_key(100, 1.0).fingerprint_bits(), 2);
+    }
+}

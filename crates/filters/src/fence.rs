@@ -1,0 +1,129 @@
+//! Fence pointers / min-max indexes (ZoneMaps, block-range indexes): the
+//! classical coarse range-pruning structures the paper compares against in
+//! Fig. 9.D. They store the minimum and maximum key of each block of the
+//! sorted key set; a range (or point) can be pruned only if it misses every
+//! block interval — effective for clustered data, useless for point lookups on
+//! uniformly spread keys.
+
+use bloomrf::traits::{FilterBuilder, PointRangeFilter};
+
+/// Min/max fence pointers over blocks of a sorted key set.
+#[derive(Clone, Debug)]
+pub struct FencePointers {
+    /// `(min, max)` per block, sorted by `min`.
+    blocks: Vec<(u64, u64)>,
+}
+
+impl FencePointers {
+    /// Build fence pointers over `keys` (sorted internally) with
+    /// `keys_per_block` keys per block.
+    pub fn build(keys: &[u64], keys_per_block: usize) -> Self {
+        let mut sorted: Vec<u64> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let kpb = keys_per_block.max(1);
+        let blocks = sorted
+            .chunks(kpb)
+            .map(|chunk| (*chunk.first().unwrap(), *chunk.last().unwrap()))
+            .collect();
+        Self { blocks }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Does any block interval intersect `[lo, hi]`?
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        if lo > hi || self.blocks.is_empty() {
+            return false;
+        }
+        // First block whose max >= lo.
+        let idx = self.blocks.partition_point(|&(_, max)| max < lo);
+        idx < self.blocks.len() && self.blocks[idx].0 <= hi
+    }
+}
+
+impl PointRangeFilter for FencePointers {
+    fn name(&self) -> &'static str {
+        "FencePointers"
+    }
+    fn may_contain(&self, key: u64) -> bool {
+        self.overlaps(key, key)
+    }
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        self.overlaps(lo, hi)
+    }
+    fn memory_bits(&self) -> usize {
+        self.blocks.len() * 128
+    }
+}
+
+/// Builder: the block size is derived from the bits/key budget
+/// (`128 bits per block / bits_per_key` keys per block).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FencePointersBuilder;
+
+impl FilterBuilder for FencePointersBuilder {
+    type Filter = FencePointers;
+    fn family(&self) -> &'static str {
+        "FencePointers"
+    }
+    fn build(&self, keys: &[u64], bits_per_key: f64) -> FencePointers {
+        let keys_per_block = (128.0 / bits_per_key.max(0.125)).ceil() as usize;
+        FencePointers::build(keys, keys_per_block.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_semantics() {
+        let keys: Vec<u64> = vec![10, 20, 30, 100, 110, 120, 1000, 1010, 1020];
+        let f = FencePointers::build(&keys, 3);
+        assert_eq!(f.num_blocks(), 3);
+        // Blocks: [10,30], [100,120], [1000,1020]
+        assert!(f.may_contain(10));
+        assert!(f.may_contain(25), "within a block span — cannot prune");
+        assert!(!f.may_contain(50), "between blocks");
+        assert!(!f.may_contain(2000), "after all blocks");
+        assert!(!f.may_contain(5), "before all blocks");
+        assert!(f.may_contain_range(0, 9_999));
+        assert!(f.may_contain_range(40, 105));
+        assert!(!f.may_contain_range(40, 99));
+        assert!(!f.may_contain_range(130, 999));
+        assert!(!f.may_contain_range(200, 100), "empty interval");
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 97 + 13).collect();
+        let f = FencePointersBuilder.build(&keys, 0.5);
+        for &k in keys.iter().step_by(31) {
+            assert!(f.may_contain(k));
+            assert!(f.may_contain_range(k.saturating_sub(5), k + 5));
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_blocks() {
+        let keys: Vec<u64> = (0..1024u64).collect();
+        let coarse = FencePointers::build(&keys, 256);
+        let fine = FencePointers::build(&keys, 4);
+        assert!(fine.memory_bits() > coarse.memory_bits());
+        assert_eq!(coarse.num_blocks(), 4);
+        assert_eq!(fine.num_blocks(), 256);
+        assert_eq!(FencePointersBuilder.family(), "FencePointers");
+    }
+
+    #[test]
+    fn empty_input() {
+        let f = FencePointers::build(&[], 10);
+        assert!(!f.may_contain(0));
+        assert!(!f.may_contain_range(0, u64::MAX));
+        assert_eq!(f.num_blocks(), 0);
+    }
+}

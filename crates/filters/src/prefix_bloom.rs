@@ -1,0 +1,163 @@
+//! Prefix Bloom filter: a Bloom filter over fixed-length key prefixes, as used
+//! by RocksDB's `prefix_extractor` and evaluated as a baseline in Fig. 9.D of
+//! the paper. It can prune range scans that stay within one (or a few)
+//! prefixes, but point queries must be answered through full-key hashing and
+//! ranges spanning many prefixes quickly become expensive or unprunable.
+
+use bloomrf::hashing::shr;
+use bloomrf::traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+
+use crate::bloom::BloomFilter;
+
+/// Bloom filter over full keys plus their fixed-length prefixes.
+#[derive(Clone, Debug)]
+pub struct PrefixBloomFilter {
+    inner: BloomFilter,
+    /// Number of low-order bits dropped to form a prefix.
+    prefix_shift: u32,
+    /// Maximum number of distinct prefixes probed for one range query before
+    /// giving up and answering "maybe".
+    max_probes: usize,
+}
+
+impl PrefixBloomFilter {
+    /// Create a prefix Bloom filter for `n_keys` keys at `bits_per_key`,
+    /// dropping the `prefix_shift` least-significant bits to form prefixes.
+    pub fn new(n_keys: usize, bits_per_key: f64, prefix_shift: u32) -> Self {
+        assert!(prefix_shift < 64);
+        // Keys and prefixes are both inserted → 2 entries per key.
+        let inner = BloomFilter::with_bits_per_key(n_keys.max(1) * 2, bits_per_key / 2.0);
+        Self { inner, prefix_shift, max_probes: 64 }
+    }
+
+    /// The configured prefix shift.
+    pub fn prefix_shift(&self) -> u32 {
+        self.prefix_shift
+    }
+
+    fn prefix_token(&self, key: u64) -> u64 {
+        // Tag prefixes so they never collide with full-key entries.
+        shr(key, self.prefix_shift) ^ 0xC0FF_EE00_0000_0000
+    }
+
+    /// Insert a key (full key + its prefix).
+    pub fn insert_key(&mut self, key: u64) {
+        self.inner.insert_key(key);
+        let token = self.prefix_token(key);
+        self.inner.insert_key(token);
+    }
+}
+
+impl PointRangeFilter for PrefixBloomFilter {
+    fn name(&self) -> &'static str {
+        "Prefix-Bloom"
+    }
+    fn may_contain(&self, key: u64) -> bool {
+        self.inner.contains(key)
+    }
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        if lo > hi {
+            return false;
+        }
+        let first = shr(lo, self.prefix_shift);
+        let last = shr(hi, self.prefix_shift);
+        if (last - first) as usize >= self.max_probes {
+            // Too many prefixes to probe — cannot prune.
+            return true;
+        }
+        (first..=last).any(|p| self.inner.contains(p ^ 0xC0FF_EE00_0000_0000))
+    }
+    fn memory_bits(&self) -> usize {
+        self.inner.memory_bits()
+    }
+}
+
+impl OnlineFilter for PrefixBloomFilter {
+    fn insert(&mut self, key: u64) {
+        self.insert_key(key);
+    }
+}
+
+/// Builder for [`PrefixBloomFilter`]s; the prefix length adapts to the
+/// expected range size passed at construction.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixBloomBuilder {
+    /// Number of low-order bits dropped to form a prefix.
+    pub prefix_shift: u32,
+}
+
+impl Default for PrefixBloomBuilder {
+    fn default() -> Self {
+        Self { prefix_shift: 16 }
+    }
+}
+
+impl FilterBuilder for PrefixBloomBuilder {
+    type Filter = PrefixBloomFilter;
+    fn family(&self) -> &'static str {
+        "Prefix-Bloom"
+    }
+    fn build(&self, keys: &[u64], bits_per_key: f64) -> PrefixBloomFilter {
+        let mut f = PrefixBloomFilter::new(keys.len(), bits_per_key, self.prefix_shift);
+        for &k in keys {
+            f.insert_key(k);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloomrf::hashing::mix64;
+
+    #[test]
+    fn point_and_prefix_queries() {
+        let keys: Vec<u64> = (0..5000u64).map(|i| (i << 20) | (mix64(i) & 0xFFFFF)).collect();
+        let mut f = PrefixBloomFilter::new(keys.len(), 14.0, 20);
+        for &k in &keys {
+            f.insert_key(k);
+        }
+        // No false negatives for points.
+        for &k in keys.iter().step_by(7) {
+            assert!(f.may_contain(k));
+        }
+        // Ranges within an existing prefix are positive.
+        for &k in keys.iter().step_by(11) {
+            let base = k & !0xFFFFF;
+            assert!(f.may_contain_range(base, base | 0xFFFFF));
+            assert!(f.may_contain_range(k, k + 10));
+        }
+        // Ranges in prefixes that hold no keys are mostly rejected.
+        let mut fp = 0;
+        for i in 0..2000u64 {
+            let prefix = 5001 + i; // beyond any inserted prefix
+            let lo = prefix << 20;
+            if f.may_contain_range(lo, lo + 100) {
+                fp += 1;
+            }
+        }
+        assert!((fp as f64) < 2000.0 * 0.15, "prefix FPR too high: {fp}/2000");
+    }
+
+    #[test]
+    fn wide_ranges_cannot_be_pruned() {
+        let mut f = PrefixBloomFilter::new(100, 14.0, 8);
+        f.insert_key(1);
+        assert!(f.may_contain_range(0, u64::MAX));
+        assert!(f.may_contain_range(1 << 40, (1 << 40) + (1 << 30)));
+        assert!(!f.may_contain_range(10, 5));
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let keys: Vec<u64> = (0..200u64).map(|i| i * 1000).collect();
+        let b = PrefixBloomBuilder { prefix_shift: 10 };
+        let f = b.build(&keys, 16.0);
+        assert_eq!(b.family(), "Prefix-Bloom");
+        assert_eq!(f.prefix_shift(), 10);
+        for &k in &keys {
+            assert!(f.may_contain(k));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! A compact LSM key-value store: memtable + level-0 SST files with filter
+//! blocks, mirroring the compaction-disabled RocksDB setup of the paper's
+//! system-level experiments.
+
+use bloomrf_filters::FilterKind;
+use parking_lot::RwLock;
+
+use crate::memtable::MemTable;
+use crate::sst::SsTable;
+use crate::stats::{IoModel, ReadStats, ReadStatsSnapshot};
+
+/// Configuration of the store.
+#[derive(Clone, Debug)]
+pub struct DbOptions {
+    /// Number of entries after which the memtable is flushed into an SST.
+    pub memtable_flush_entries: usize,
+    /// Entries per data block (RocksDB block-size knob).
+    pub entries_per_block: usize,
+    /// Filter family installed as the full-filter block of every SST.
+    pub filter_kind: FilterKind,
+    /// Filter space budget.
+    pub bits_per_key: f64,
+    /// Simulated storage cost model.
+    pub io_model: IoModel,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        Self {
+            memtable_flush_entries: 64 * 1024,
+            entries_per_block: 8, // ≈ 4 KiB blocks with 512-byte values
+            filter_kind: FilterKind::BloomRf { max_range: 1e6 },
+            bits_per_key: 22.0,
+            io_model: IoModel::default(),
+        }
+    }
+}
+
+/// The LSM store.
+pub struct Db {
+    options: DbOptions,
+    memtable: MemTable,
+    /// Level-0 tables, oldest first (no compaction — as in the paper's setup).
+    ssts: RwLock<Vec<SsTable>>,
+    stats: ReadStats,
+}
+
+impl Db {
+    /// Open an empty store.
+    pub fn new(options: DbOptions) -> Self {
+        Self { options, memtable: MemTable::new(), ssts: RwLock::new(Vec::new()), stats: ReadStats::new() }
+    }
+
+    /// Open with default options but a specific filter family and budget.
+    pub fn with_filter(filter_kind: FilterKind, bits_per_key: f64) -> Self {
+        Self::new(DbOptions { filter_kind, bits_per_key, ..Default::default() })
+    }
+
+    /// Store a key-value pair; flushes the memtable when it reaches the
+    /// configured size.
+    pub fn put(&self, key: u64, value: Vec<u8>) {
+        self.memtable.put(key, value);
+        if self.memtable.len() >= self.options.memtable_flush_entries {
+            self.flush();
+        }
+    }
+
+    /// Force-flush the memtable into a new level-0 SST.
+    pub fn flush(&self) {
+        let entries = self.memtable.drain_sorted();
+        if entries.is_empty() {
+            return;
+        }
+        let sst = SsTable::build(
+            &entries,
+            self.options.entries_per_block,
+            self.options.filter_kind,
+            self.options.bits_per_key,
+        );
+        self.ssts.write().push(sst);
+    }
+
+    /// Point lookup: memtable first, then SSTs newest to oldest.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        if let Some(v) = self.memtable.get(key) {
+            return Some(v);
+        }
+        let ssts = self.ssts.read();
+        for sst in ssts.iter().rev() {
+            if let Some(v) = sst.get(key, &self.options.io_model, &self.stats) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Range scan over `[lo, hi]`, returning up to `limit` entries in key
+    /// order (newest version wins for duplicate keys).
+    pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+        {
+            let ssts = self.ssts.read();
+            for sst in ssts.iter() {
+                for (k, v) in sst.scan(lo, hi, limit, &self.options.io_model, &self.stats) {
+                    merged.insert(k, v); // later (newer) tables overwrite
+                }
+            }
+        }
+        for (k, v) in self.memtable.scan(lo, hi, limit) {
+            merged.insert(k, v);
+        }
+        merged.into_iter().take(limit).collect()
+    }
+
+    /// Range emptiness check (the filter-driven fast path the paper measures):
+    /// like [`Db::scan`] with `limit = 1` but without materializing values.
+    pub fn range_is_possibly_non_empty(&self, lo: u64, hi: u64) -> bool {
+        if self.memtable.first_in_range(lo, hi).is_some() {
+            return true;
+        }
+        let ssts = self.ssts.read();
+        for sst in ssts.iter() {
+            if !sst.scan(lo, hi, 1, &self.options.io_model, &self.stats).is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of level-0 SST files.
+    pub fn num_ssts(&self) -> usize {
+        self.ssts.read().len()
+    }
+
+    /// Total number of entries across memtable and SSTs.
+    pub fn num_entries(&self) -> usize {
+        self.memtable.len() + self.ssts.read().iter().map(|s| s.num_entries()).sum::<usize>()
+    }
+
+    /// Total size of all filter blocks in bits.
+    pub fn total_filter_bits(&self) -> usize {
+        self.ssts.read().iter().map(|s| s.filter_bits()).sum()
+    }
+
+    /// Sum of per-SST filter construction times (Fig. 12.C).
+    pub fn total_filter_build_time(&self) -> std::time::Duration {
+        self.ssts.read().iter().map(|s| s.filter_build_time()).sum()
+    }
+
+    /// Read-path statistics accumulated since the last reset.
+    pub fn stats(&self) -> ReadStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset the read-path statistics.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &DbOptions {
+        &self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db(filter_kind: FilterKind) -> Db {
+        Db::new(DbOptions {
+            memtable_flush_entries: 1000,
+            entries_per_block: 8,
+            filter_kind,
+            bits_per_key: 18.0,
+            io_model: IoModel::default(),
+        })
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_flushes() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        for i in 0..5000u64 {
+            db.put(i * 100, vec![i as u8; 16]);
+        }
+        assert!(db.num_ssts() >= 4, "flushes should have produced SSTs");
+        for i in (0..5000u64).step_by(97) {
+            assert_eq!(db.get(i * 100), Some(vec![i as u8; 16]));
+        }
+        assert_eq!(db.get(50), None);
+        assert_eq!(db.num_entries(), 5000);
+    }
+
+    #[test]
+    fn scans_merge_memtable_and_ssts() {
+        let db = small_db(FilterKind::Rosetta { max_range: 1 << 16 });
+        for i in 0..2500u64 {
+            db.put(i * 4, vec![1]);
+        }
+        // 2 flushes (2000 entries) + 500 still in the memtable.
+        assert!(db.num_ssts() >= 2);
+        assert!(db.memtable_len() > 0);
+        let result = db.scan(100, 140, 100);
+        assert_eq!(result.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140]);
+        let newest = db.scan(9900, 10_000, 100);
+        assert!(!newest.is_empty(), "entries still in the memtable must be visible");
+    }
+
+    #[test]
+    fn overwrites_prefer_newest_value() {
+        let db = small_db(FilterKind::Bloom);
+        db.put(42, vec![1]);
+        db.flush();
+        db.put(42, vec![2]);
+        db.flush();
+        db.put(42, vec![3]);
+        assert_eq!(db.get(42), Some(vec![3]));
+        let scanned = db.scan(0, 100, 10);
+        assert_eq!(scanned, vec![(42, vec![3])]);
+    }
+
+    #[test]
+    fn empty_range_scans_are_pruned_by_range_filters() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e4 });
+        for i in 0..4000u64 {
+            db.put(i << 32, vec![0u8; 8]);
+        }
+        db.flush();
+        db.reset_stats();
+        // Empty ranges placed uniformly: the filter should prune most block reads.
+        let mut pruned = 0;
+        for i in 0..200u64 {
+            let lo = bloomrf::hashing::mix64(i) | 1;
+            let hi = lo + 1000;
+            if !db.range_is_possibly_non_empty(lo, hi) {
+                pruned += 1;
+            }
+        }
+        let stats = db.stats();
+        assert!(stats.filter_probes > 0);
+        assert!(pruned > 150, "only {pruned}/200 empty scans pruned");
+        assert!(
+            stats.blocks_read < 200,
+            "pruning should avoid most block reads, read {}",
+            stats.blocks_read
+        );
+    }
+
+    #[test]
+    fn stats_and_filter_metadata_exposed() {
+        let db = small_db(FilterKind::Surf);
+        for i in 0..1500u64 {
+            db.put(i * 7, vec![0u8; 4]);
+        }
+        db.flush();
+        assert!(db.total_filter_bits() > 0);
+        let _ = db.total_filter_build_time();
+        db.reset_stats();
+        let _ = db.get(3);
+        assert!(db.stats().filter_probes <= db.num_ssts() as u64);
+        assert_eq!(db.options().entries_per_block, 8);
+    }
+
+    impl Db {
+        fn memtable_len(&self) -> usize {
+            self.memtable.len()
+        }
+    }
+}

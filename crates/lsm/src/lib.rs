@@ -1,0 +1,36 @@
+//! A compact, RocksDB-like LSM key-value substrate for the bloomRF
+//! system-level experiments.
+//!
+//! The paper integrates bloomRF into RocksDB v6.3.6 as a *full filter block*
+//! of each compaction-disabled SST file and extends the filter policy to pass
+//! range bounds down to the filter. This crate reproduces that read path at
+//! laptop scale:
+//!
+//! * [`memtable::MemTable`] — ordered in-memory write buffer; reads consult it
+//!   before any SST (this is how RocksDB sidesteps the offline-construction
+//!   problem for the freshest data).
+//! * [`sst::SsTable`] — an immutable sorted run with data blocks, a block
+//!   index (fence pointers) and one filter block per table, built by any
+//!   [`bloomrf_filters::FilterKind`] (bloomRF, Rosetta, SuRF, Bloom, …).
+//! * [`db::Db`] — level-0-only LSM store: put / get / scan /
+//!   range-emptiness, with per-query statistics (filter probes, simulated I/O
+//!   wait, residual CPU) feeding the cost-breakdown experiment (Fig. 12.G).
+//! * [`stats`] — the simulated I/O cost model and read-path counters.
+//!
+//! Substitution note (see DESIGN.md): SST blocks live in memory and block
+//! reads are charged a configurable latency instead of hitting a disk. The
+//! decision structure of the read path (filter probe → index → block reads) is
+//! identical to RocksDB's, so relative filter behaviour is preserved while
+//! experiments stay deterministic.
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod memtable;
+pub mod sst;
+pub mod stats;
+
+pub use db::{Db, DbOptions};
+pub use memtable::MemTable;
+pub use sst::SsTable;
+pub use stats::{IoModel, ReadStats, ReadStatsSnapshot};

@@ -1,0 +1,148 @@
+//! The in-memory write buffer (memtable) of the LSM substrate.
+//!
+//! RocksDB absorbs new writes in a skip-list based memtable and only builds
+//! filters when the memtable is flushed to an SST file — the system-level
+//! mitigation of the offline-filter problem the paper discusses (Problem 2).
+//! Our memtable is an ordered map behind a read-write lock, which preserves
+//! the relevant behaviour: point and range reads must consult it *in addition
+//! to* the filtered SST files.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An ordered, thread-safe write buffer.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    entries: RwLock<BTreeMap<u64, Vec<u8>>>,
+    approximate_bytes: std::sync::atomic::AtomicUsize,
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: u64, value: Vec<u8>) {
+        let added = 8 + value.len();
+        let mut map = self.entries.write();
+        if let Some(old) = map.insert(key, value) {
+            self.approximate_bytes
+                .fetch_sub(8 + old.len(), std::sync::atomic::Ordering::Relaxed);
+        }
+        self.approximate_bytes.fetch_add(added, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        self.entries.read().get(&key).cloned()
+    }
+
+    /// Smallest entry with key in `[lo, hi]`, if any.
+    pub fn first_in_range(&self, lo: u64, hi: u64) -> Option<(u64, Vec<u8>)> {
+        let map = self.entries.read();
+        map.range((Bound::Included(lo), Bound::Included(hi)))
+            .next()
+            .map(|(k, v)| (*k, v.clone()))
+    }
+
+    /// All entries with keys in `[lo, hi]`, up to `limit`.
+    pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        let map = self.entries.read();
+        map.range((Bound::Included(lo), Bound::Included(hi)))
+            .take(limit)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if the memtable holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Approximate payload size in bytes (keys + values).
+    pub fn approximate_bytes(&self) -> usize {
+        self.approximate_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Drain every entry in key order (used by flush).
+    pub fn drain_sorted(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut map = self.entries.write();
+        self.approximate_bytes.store(0, std::sync::atomic::Ordering::Relaxed);
+        std::mem::take(&mut *map).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_overwrite() {
+        let mt = MemTable::new();
+        assert!(mt.is_empty());
+        mt.put(5, vec![1, 2, 3]);
+        mt.put(10, vec![4]);
+        assert_eq!(mt.get(5), Some(vec![1, 2, 3]));
+        assert_eq!(mt.get(11), None);
+        assert_eq!(mt.len(), 2);
+        let before = mt.approximate_bytes();
+        mt.put(5, vec![9; 100]);
+        assert_eq!(mt.get(5), Some(vec![9; 100]));
+        assert_eq!(mt.len(), 2);
+        assert!(mt.approximate_bytes() > before);
+    }
+
+    #[test]
+    fn range_operations() {
+        let mt = MemTable::new();
+        for k in [10u64, 20, 30, 40] {
+            mt.put(k, vec![k as u8]);
+        }
+        assert_eq!(mt.first_in_range(15, 35).map(|(k, _)| k), Some(20));
+        assert_eq!(mt.first_in_range(31, 39), None);
+        assert_eq!(mt.scan(0, 100, 10).len(), 4);
+        assert_eq!(mt.scan(0, 100, 2).len(), 2);
+        assert_eq!(mt.scan(21, 29, 10).len(), 0);
+        assert_eq!(mt.scan(20, 20, 10), vec![(20, vec![20])]);
+    }
+
+    #[test]
+    fn drain_returns_sorted_and_empties() {
+        let mt = MemTable::new();
+        for k in [30u64, 10, 20] {
+            mt.put(k, vec![]);
+        }
+        let drained = mt.drain_sorted();
+        assert_eq!(drained.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert!(mt.is_empty());
+        assert_eq!(mt.approximate_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        use std::sync::Arc;
+        let mt = Arc::new(MemTable::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let mt = Arc::clone(&mt);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        mt.put(t * 1000 + i, vec![0u8; 8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mt.len(), 4000);
+    }
+}

@@ -1,0 +1,194 @@
+//! Read-path statistics and the simulated I/O cost model.
+//!
+//! The paper's system-level experiments (Fig. 9, 10, 12.G) measure end-to-end
+//! probe cost inside RocksDB: filter probe time, residual CPU, filter-block
+//! deserialization and I/O wait. Our LSM substrate keeps SST blocks in memory
+//! and *simulates* the I/O component: every block read is counted and charged
+//! a configurable latency, so the cost breakdown has the same structure while
+//! remaining deterministic and laptop-friendly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Cost model for simulated storage accesses.
+#[derive(Clone, Copy, Debug)]
+pub struct IoModel {
+    /// Simulated latency charged per data-block read.
+    pub block_read_latency: Duration,
+    /// Simulated latency charged per filter-block load (deserialization I/O).
+    pub filter_block_latency: Duration,
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        // A 4-KiB random read from a SATA SSD (the paper's 2016-era testbed).
+        Self {
+            block_read_latency: Duration::from_micros(100),
+            filter_block_latency: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Aggregated read-path counters. All counters are atomic so that concurrent
+/// readers can share one instance.
+#[derive(Debug, Default)]
+pub struct ReadStats {
+    /// Number of filter probes executed (point + range).
+    pub filter_probes: AtomicU64,
+    /// Filter probes that answered "maybe".
+    pub filter_positives: AtomicU64,
+    /// Filter probes that answered "no" (saved I/O).
+    pub filter_negatives: AtomicU64,
+    /// Filter positives that turned out to contain no matching key
+    /// (false positives observed end-to-end).
+    pub false_positives: AtomicU64,
+    /// Data blocks read (and charged simulated I/O latency).
+    pub blocks_read: AtomicU64,
+    /// Nanoseconds spent inside filter probes (wall clock).
+    pub filter_probe_ns: AtomicU64,
+    /// Nanoseconds of simulated I/O wait.
+    pub io_wait_ns: AtomicU64,
+    /// Nanoseconds spent searching/deserializing data blocks (CPU residual).
+    pub cpu_ns: AtomicU64,
+}
+
+impl ReadStats {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        for counter in [
+            &self.filter_probes,
+            &self.filter_positives,
+            &self.filter_negatives,
+            &self.false_positives,
+            &self.blocks_read,
+            &self.filter_probe_ns,
+            &self.io_wait_ns,
+            &self.cpu_ns,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one filter probe outcome and its duration.
+    pub fn record_filter_probe(&self, positive: bool, nanos: u64) {
+        self.filter_probes.fetch_add(1, Ordering::Relaxed);
+        self.filter_probe_ns.fetch_add(nanos, Ordering::Relaxed);
+        if positive {
+            self.filter_positives.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.filter_negatives.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `blocks` simulated block reads under the given model.
+    pub fn record_block_reads(&self, blocks: u64, model: &IoModel) {
+        self.blocks_read.fetch_add(blocks, Ordering::Relaxed);
+        self.io_wait_ns
+            .fetch_add(blocks * model.block_read_latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record residual CPU time.
+    pub fn record_cpu(&self, nanos: u64) {
+        self.cpu_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record an observed end-to-end false positive.
+    pub fn record_false_positive(&self) {
+        self.false_positives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain struct.
+    pub fn snapshot(&self) -> ReadStatsSnapshot {
+        ReadStatsSnapshot {
+            filter_probes: self.filter_probes.load(Ordering::Relaxed),
+            filter_positives: self.filter_positives.load(Ordering::Relaxed),
+            filter_negatives: self.filter_negatives.load(Ordering::Relaxed),
+            false_positives: self.false_positives.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            filter_probe_ns: self.filter_probe_ns.load(Ordering::Relaxed),
+            io_wait_ns: self.io_wait_ns.load(Ordering::Relaxed),
+            cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain copy of [`ReadStats`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadStatsSnapshot {
+    /// Number of filter probes executed.
+    pub filter_probes: u64,
+    /// Probes answering "maybe".
+    pub filter_positives: u64,
+    /// Probes answering "no".
+    pub filter_negatives: u64,
+    /// End-to-end false positives.
+    pub false_positives: u64,
+    /// Data blocks read.
+    pub blocks_read: u64,
+    /// Time in filter probes (ns).
+    pub filter_probe_ns: u64,
+    /// Simulated I/O wait (ns).
+    pub io_wait_ns: u64,
+    /// Residual CPU time (ns).
+    pub cpu_ns: u64,
+}
+
+impl ReadStatsSnapshot {
+    /// Observed filter false-positive rate: false positives / probes on
+    /// queries whose true answer is empty. (Callers that issue only empty
+    /// queries can use this directly.)
+    pub fn observed_fpr(&self) -> f64 {
+        if self.filter_probes == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.filter_probes as f64
+        }
+    }
+
+    /// Total end-to-end cost in nanoseconds (probe + CPU + simulated I/O).
+    pub fn total_ns(&self) -> u64 {
+        self.filter_probe_ns + self.io_wait_ns + self.cpu_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = ReadStats::new();
+        let model = IoModel::default();
+        stats.record_filter_probe(true, 100);
+        stats.record_filter_probe(false, 50);
+        stats.record_block_reads(3, &model);
+        stats.record_cpu(10);
+        stats.record_false_positive();
+        let snap = stats.snapshot();
+        assert_eq!(snap.filter_probes, 2);
+        assert_eq!(snap.filter_positives, 1);
+        assert_eq!(snap.filter_negatives, 1);
+        assert_eq!(snap.blocks_read, 3);
+        assert_eq!(snap.filter_probe_ns, 150);
+        assert_eq!(snap.io_wait_ns, 3 * 100_000);
+        assert_eq!(snap.cpu_ns, 10);
+        assert_eq!(snap.false_positives, 1);
+        assert!((snap.observed_fpr() - 0.5).abs() < 1e-12);
+        assert_eq!(snap.total_ns(), 150 + 300_000 + 10);
+        stats.reset();
+        assert_eq!(stats.snapshot(), ReadStatsSnapshot::default());
+        assert_eq!(ReadStatsSnapshot::default().observed_fpr(), 0.0);
+    }
+
+    #[test]
+    fn io_model_default_is_ssd_like() {
+        let model = IoModel::default();
+        assert!(model.block_read_latency >= Duration::from_micros(10));
+        assert!(model.block_read_latency <= Duration::from_millis(1));
+    }
+}

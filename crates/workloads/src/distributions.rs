@@ -1,0 +1,263 @@
+//! Key and query-anchor distributions used throughout the paper's evaluation:
+//! uniform, normal and zipfian over the 64-bit key domain (Sect. 9,
+//! "Workloads").
+
+use crate::rng::Rng;
+
+/// A distribution over the `u64` key domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    /// Uniform over the whole domain.
+    Uniform,
+    /// Normal, centred at the middle of the domain; `sigma_fraction` is the
+    /// standard deviation as a fraction of the domain size (the paper uses a
+    /// normal distribution without further parameters; 1/8 is a reasonable
+    /// spread that keeps >99.99% of the mass inside the domain).
+    Normal {
+        /// Standard deviation as a fraction of the domain width.
+        sigma_fraction: f64,
+    },
+    /// Zipfian over `distinct` anchor positions spread uniformly over the
+    /// domain, with skew parameter `theta` (0.99 is the YCSB default).
+    Zipfian {
+        /// Number of distinct anchor positions.
+        distinct: u64,
+        /// Skew parameter θ ∈ (0, 1).
+        theta: f64,
+    },
+}
+
+impl Distribution {
+    /// The three distributions evaluated in the paper, with their default
+    /// parameters.
+    pub fn paper_set() -> [Distribution; 3] {
+        [Distribution::Uniform, Distribution::normal(), Distribution::zipfian()]
+    }
+
+    /// Normal distribution with the default spread.
+    pub fn normal() -> Self {
+        Distribution::Normal { sigma_fraction: 0.125 }
+    }
+
+    /// Zipfian distribution with the YCSB default skew.
+    pub fn zipfian() -> Self {
+        Distribution::Zipfian { distinct: 1 << 24, theta: 0.99 }
+    }
+
+    /// Short label used in CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Normal { .. } => "normal",
+            Distribution::Zipfian { .. } => "zipfian",
+        }
+    }
+}
+
+/// A sampler drawing keys from a [`Distribution`] within a `domain_bits`-wide
+/// domain.
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    distribution: Distribution,
+    domain_bits: u32,
+    rng: Rng,
+    /// Precomputed constants for zipfian sampling (Gray et al. approximation).
+    zipf: Option<ZipfState>,
+}
+
+#[derive(Clone, Debug)]
+struct ZipfState {
+    distinct: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    /// Multiplier mapping item rank to a domain position.
+    stride: u64,
+    /// Random permutation seed so that popular items are scattered over the
+    /// domain instead of clustering at its start.
+    scramble: u64,
+}
+
+impl Sampler {
+    /// Create a sampler.
+    pub fn new(distribution: Distribution, domain_bits: u32, seed: u64) -> Self {
+        let zipf = match distribution {
+            Distribution::Zipfian { distinct, theta } => {
+                let n = distinct.max(2);
+                let zetan = zeta(n, theta);
+                let zeta2 = zeta(2, theta);
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                let domain = domain_max(domain_bits);
+                let stride = (domain / n).max(1);
+                Some(ZipfState { distinct: n, theta, alpha, zetan, eta, stride, scramble: seed | 1 })
+            }
+            _ => None,
+        };
+        Self { distribution, domain_bits, rng: Rng::new(seed), zipf }
+    }
+
+    /// The sampled distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.distribution
+    }
+
+    /// Draw one key.
+    pub fn sample(&mut self) -> u64 {
+        let max = domain_max(self.domain_bits);
+        match self.distribution {
+            Distribution::Uniform => self.rng.next_range(0, max),
+            Distribution::Normal { sigma_fraction } => {
+                let centre = max as f64 / 2.0;
+                let sigma = max as f64 * sigma_fraction;
+                loop {
+                    let v = centre + sigma * self.rng.next_gaussian();
+                    if v >= 0.0 && v <= max as f64 {
+                        return v as u64;
+                    }
+                }
+            }
+            Distribution::Zipfian { .. } => {
+                let z = self.zipf.as_ref().expect("zipf state");
+                let rank = zipf_rank(&mut self.rng, z);
+                // Scatter ranks over the domain so the skew is in *frequency*,
+                // not in key locality (matching YCSB's scrambled zipfian).
+                let scattered =
+                    bloomrf::hashing::mix64(rank.wrapping_mul(z.scramble)) % z.distinct;
+                (scattered * z.stride).min(max)
+            }
+        }
+    }
+
+    /// Draw `n` keys.
+    pub fn sample_many(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    /// Draw `n` *distinct* keys (rejection on duplicates).
+    pub fn sample_distinct(&mut self, n: usize) -> Vec<u64> {
+        let mut seen = std::collections::HashSet::with_capacity(n * 2);
+        let mut out = Vec::with_capacity(n);
+        let mut guard = 0usize;
+        while out.len() < n {
+            let k = self.sample();
+            if seen.insert(k) {
+                out.push(k);
+            }
+            guard += 1;
+            assert!(
+                guard < n * 1000 + 10_000,
+                "distribution too narrow to produce {n} distinct keys"
+            );
+        }
+        out
+    }
+}
+
+fn domain_max(domain_bits: u32) -> u64 {
+    if domain_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << domain_bits) - 1
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // For large n the sum is approximated by its integral tail; exact
+    // summation below a million terms keeps construction fast and accurate.
+    let exact = n.min(1_000_000);
+    let mut sum = 0.0;
+    for i in 1..=exact {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    if n > exact {
+        // ∫ x^-θ dx from `exact` to `n`
+        sum += ((n as f64).powf(1.0 - theta) - (exact as f64).powf(1.0 - theta)) / (1.0 - theta);
+    }
+    sum
+}
+
+fn zipf_rank(rng: &mut Rng, z: &ZipfState) -> u64 {
+    let u = rng.next_f64();
+    let uz = u * z.zetan;
+    if uz < 1.0 {
+        return 0;
+    }
+    if uz < 1.0 + 0.5f64.powf(z.theta) {
+        return 1;
+    }
+    let rank = (z.distinct as f64 * (z.eta * u - z.eta + 1.0).powf(z.alpha)) as u64;
+    rank.min(z.distinct - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spans_the_domain() {
+        let mut s = Sampler::new(Distribution::Uniform, 64, 1);
+        let keys = s.sample_many(10_000);
+        let below_half = keys.iter().filter(|&&k| k < u64::MAX / 2).count();
+        assert!((4000..6000).contains(&below_half), "half split {below_half}");
+        let mut s = Sampler::new(Distribution::Uniform, 16, 1);
+        assert!(s.sample_many(1000).iter().all(|&k| k < 65536));
+    }
+
+    #[test]
+    fn normal_concentrates_around_centre() {
+        let mut s = Sampler::new(Distribution::normal(), 64, 2);
+        let keys = s.sample_many(20_000);
+        let centre = u64::MAX / 2;
+        let near = keys
+            .iter()
+            .filter(|&&k| (k as i128 - centre as i128).unsigned_abs() < (u64::MAX / 4) as u128)
+            .count();
+        // Within ±2σ (σ = domain/8 → quarter domain = 2σ): ~95 %.
+        assert!(near > 18_000, "only {near} keys near the centre");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_in_frequency() {
+        let mut s = Sampler::new(Distribution::Zipfian { distinct: 1 << 20, theta: 0.99 }, 64, 3);
+        let keys = s.sample_many(50_000);
+        let mut counts = std::collections::HashMap::new();
+        for k in keys {
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The most popular key should account for a noticeable share.
+        assert!(freqs[0] > 1000, "hottest key hit only {} times", freqs[0]);
+        // But the tail must still exist (many distinct keys).
+        assert!(counts.len() > 5_000, "only {} distinct keys", counts.len());
+    }
+
+    #[test]
+    fn distinct_sampling_has_no_duplicates() {
+        for dist in Distribution::paper_set() {
+            let mut s = Sampler::new(dist, 64, 7);
+            let keys = s.sample_distinct(5000);
+            let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+            assert_eq!(set.len(), keys.len(), "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Distribution::Uniform.label(), "uniform");
+        assert_eq!(Distribution::normal().label(), "normal");
+        assert_eq!(Distribution::zipfian().label(), "zipfian");
+        assert_eq!(Distribution::paper_set().len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Sampler::new(Distribution::normal(), 64, 9).sample_many(100);
+        let b = Sampler::new(Distribution::normal(), 64, 9).sample_many(100);
+        assert_eq!(a, b);
+        let c = Sampler::new(Distribution::normal(), 64, 10).sample_many(100);
+        assert_ne!(a, c);
+    }
+}

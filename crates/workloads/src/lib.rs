@@ -1,0 +1,27 @@
+//! Workload generators and synthetic datasets for the bloomRF evaluation
+//! (Sect. 9 of the paper).
+//!
+//! * [`rng`] — deterministic PRNG (xoshiro256**) so every experiment is
+//!   reproducible from its seed.
+//! * [`distributions`] — uniform / normal / zipfian samplers over the 64-bit
+//!   key domain.
+//! * [`querygen`] — empty and non-empty point/range query workloads against a
+//!   fixed key set (the paper's worst-case "all queries empty" setup).
+//! * [`ycsb`] — the YCSB Workload-E derivative used by the system-level
+//!   experiments (uniform 64-bit keys, 512-byte values, range scans).
+//! * [`datasets`] — synthetic stand-ins for the NASA Kepler flux series
+//!   (floats, Experiment 5) and the SDSS DR16 two-attribute extract
+//!   (Experiment 6).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod distributions;
+pub mod querygen;
+pub mod rng;
+pub mod ycsb;
+
+pub use distributions::{Distribution, Sampler};
+pub use querygen::{false_positive_rate, QueryGenerator, RangeQuery};
+pub use rng::Rng;
+pub use ycsb::{Operation, YcsbEConfig, YcsbEWorkload};

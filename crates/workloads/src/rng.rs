@@ -1,0 +1,159 @@
+//! Deterministic pseudo-random number generation for workload synthesis.
+//!
+//! The generators are deliberately self-contained (SplitMix64 seeding feeding
+//! an xoshiro256** state) so that every experiment in the benchmark harness is
+//! exactly reproducible from its seed, independent of external crate versions.
+
+/// A small, fast, deterministic PRNG (xoshiro256**) seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let state = [next_sm(), next_sm(), next_sm(), next_sm()];
+        Self { state }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` (bound > 0), using Lemire's method.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.next_below(span + 1)
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard-normal sample (Box–Muller).
+    pub fn next_gaussian(&mut self) -> f64 {
+        loop {
+            let u1 = self.next_f64();
+            let u2 = self.next_f64();
+            if u1 > f64::MIN_POSITIVE {
+                let r = (-2.0 * u1.ln()).sqrt();
+                return r * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.next_below(1000);
+            assert!(v < 1000);
+            let r = rng.next_range(50, 60);
+            assert!((50..=60).contains(&r));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        let mut rng = Rng::new(9);
+        let _ = rng.next_range(0, u64::MAX);
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        let mut rng = Rng::new(1);
+        let mut buckets = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            buckets[rng.next_below(10) as usize] += 1;
+        }
+        for &b in &buckets {
+            let expected = n as f64 / 10.0;
+            assert!((b as f64 - expected).abs() < expected * 0.1, "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng::new(5);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let x = rng.next_gaussian();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng::new(11);
+        let mut data: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(data, sorted, "shuffle should change the order");
+    }
+}

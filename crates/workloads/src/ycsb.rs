@@ -1,0 +1,201 @@
+//! A derivative of YCSB Workload E (range-scan intensive), matching the setup
+//! of the paper's system-level experiments: 64-bit integer keys with 512-byte
+//! values, uniformly distributed data, and a query workload of (by default
+//! empty) range scans drawn from a configurable distribution.
+
+use crate::distributions::{Distribution, Sampler};
+use crate::querygen::{QueryGenerator, RangeQuery};
+
+/// One operation of the workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operation {
+    /// Insert a key with a value of `value_size` bytes.
+    Insert(u64),
+    /// Point lookup.
+    Read(u64),
+    /// Range scan over the inclusive interval.
+    Scan(RangeQuery),
+}
+
+/// Configuration of the workload generator.
+#[derive(Clone, Debug)]
+pub struct YcsbEConfig {
+    /// Number of keys loaded before the measured phase.
+    pub num_keys: usize,
+    /// Value size in bytes (the paper uses 512).
+    pub value_size: usize,
+    /// Number of queries in the measured phase.
+    pub num_queries: usize,
+    /// Fixed range size of every scan (the paper sweeps this per experiment).
+    pub range_size: u64,
+    /// Distribution of the query anchors.
+    pub query_distribution: Distribution,
+    /// Distribution of the loaded keys (the paper uses uniform data).
+    pub key_distribution: Distribution,
+    /// If true (default, the paper's worst case) every query is empty.
+    pub empty_queries: bool,
+    /// Fraction of point queries mixed into the measured phase (0.0 = pure
+    /// Workload-E scans).
+    pub point_query_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbEConfig {
+    fn default() -> Self {
+        Self {
+            num_keys: 1_000_000,
+            value_size: 512,
+            num_queries: 100_000,
+            range_size: 1 << 10,
+            query_distribution: Distribution::Uniform,
+            key_distribution: Distribution::Uniform,
+            empty_queries: true,
+            point_query_fraction: 0.0,
+            seed: 0xE5CB,
+        }
+    }
+}
+
+/// A fully materialized workload: the load phase plus the measured phase.
+#[derive(Clone, Debug)]
+pub struct YcsbEWorkload {
+    /// Keys of the load phase (distinct).
+    pub load_keys: Vec<u64>,
+    /// Value payload size in bytes.
+    pub value_size: usize,
+    /// Operations of the measured phase.
+    pub operations: Vec<Operation>,
+}
+
+impl YcsbEWorkload {
+    /// Generate the workload described by `config`.
+    pub fn generate(config: &YcsbEConfig) -> Self {
+        let mut key_sampler = Sampler::new(config.key_distribution, 64, config.seed);
+        let load_keys = key_sampler.sample_distinct(config.num_keys);
+
+        let mut generator =
+            QueryGenerator::new(&load_keys, config.query_distribution, config.seed ^ 0x5151);
+        let num_points = (config.num_queries as f64 * config.point_query_fraction) as usize;
+        let num_scans = config.num_queries - num_points;
+
+        let scans = if config.empty_queries {
+            generator.empty_ranges(num_scans, config.range_size)
+        } else {
+            generator.non_empty_ranges(num_scans, config.range_size)
+        };
+        let points = if config.empty_queries {
+            generator.empty_points(num_points)
+        } else {
+            generator.existing_points(num_points)
+        };
+
+        let mut operations: Vec<Operation> = Vec::with_capacity(config.num_queries);
+        operations.extend(scans.into_iter().map(Operation::Scan));
+        operations.extend(points.into_iter().map(Operation::Read));
+        // Interleave deterministically.
+        let mut rng = crate::rng::Rng::new(config.seed ^ 0xC0DE);
+        rng.shuffle(&mut operations);
+
+        Self { load_keys, value_size: config.value_size, operations }
+    }
+
+    /// The synthetic value stored for a key (deterministic filler bytes).
+    pub fn value_for(&self, key: u64) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_size];
+        let pattern = key.to_le_bytes();
+        for (i, byte) in v.iter_mut().enumerate() {
+            *byte = pattern[i % 8] ^ (i as u8);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_workload_is_scan_only_and_empty() {
+        let config = YcsbEConfig {
+            num_keys: 5_000,
+            num_queries: 500,
+            range_size: 256,
+            ..Default::default()
+        };
+        let workload = YcsbEWorkload::generate(&config);
+        assert_eq!(workload.load_keys.len(), 5_000);
+        assert_eq!(workload.operations.len(), 500);
+        let mut sorted = workload.load_keys.clone();
+        sorted.sort_unstable();
+        for op in &workload.operations {
+            match op {
+                Operation::Scan(q) => {
+                    assert_eq!(q.len(), 256);
+                    let idx = sorted.partition_point(|&k| k < q.lo);
+                    assert!(idx >= sorted.len() || sorted[idx] > q.hi, "scan {q:?} not empty");
+                }
+                other => panic!("unexpected operation {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn point_fraction_mixes_reads() {
+        let config = YcsbEConfig {
+            num_keys: 2_000,
+            num_queries: 400,
+            point_query_fraction: 0.25,
+            ..Default::default()
+        };
+        let workload = YcsbEWorkload::generate(&config);
+        let reads = workload.operations.iter().filter(|o| matches!(o, Operation::Read(_))).count();
+        let scans = workload.operations.iter().filter(|o| matches!(o, Operation::Scan(_))).count();
+        assert_eq!(reads, 100);
+        assert_eq!(scans, 300);
+    }
+
+    #[test]
+    fn non_empty_mode_hits_keys() {
+        let config = YcsbEConfig {
+            num_keys: 2_000,
+            num_queries: 200,
+            empty_queries: false,
+            range_size: 1 << 16,
+            ..Default::default()
+        };
+        let workload = YcsbEWorkload::generate(&config);
+        let mut sorted = workload.load_keys.clone();
+        sorted.sort_unstable();
+        for op in &workload.operations {
+            if let Operation::Scan(q) = op {
+                let idx = sorted.partition_point(|&k| k < q.lo);
+                assert!(idx < sorted.len() && sorted[idx] <= q.hi, "scan {q:?} should hit a key");
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_deterministic_and_sized() {
+        let workload = YcsbEWorkload::generate(&YcsbEConfig {
+            num_keys: 10,
+            num_queries: 1,
+            value_size: 512,
+            ..Default::default()
+        });
+        let v1 = workload.value_for(42);
+        let v2 = workload.value_for(42);
+        assert_eq!(v1.len(), 512);
+        assert_eq!(v1, v2);
+        assert_ne!(v1, workload.value_for(43));
+    }
+
+    #[test]
+    fn workload_is_reproducible() {
+        let config = YcsbEConfig { num_keys: 1000, num_queries: 100, ..Default::default() };
+        let a = YcsbEWorkload::generate(&config);
+        let b = YcsbEWorkload::generate(&config);
+        assert_eq!(a.load_keys, b.load_keys);
+        assert_eq!(a.operations, b.operations);
+    }
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the bloomRF reproduction.
+//!
+//! Re-exports the four workspace crates so that examples and integration
+//! tests can use a single dependency:
+//!
+//! * [`bloomrf`] — the paper's contribution: the bloomRF point-range filter.
+//! * [`bloomrf_filters`] — baseline filters (Bloom, Prefix-Bloom, fence
+//!   pointers, Cuckoo, Rosetta, SuRF).
+//! * [`bloomrf_lsm`] — the RocksDB-like LSM substrate used by the
+//!   system-level experiments.
+//! * [`bloomrf_workloads`] — workload generators and synthetic datasets.
+
+#![warn(missing_docs)]
+
+pub use bloomrf;
+pub use bloomrf_filters;
+pub use bloomrf_lsm;
+pub use bloomrf_workloads;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use bloomrf::{
+        advisor::TuningAdvisor, BloomRf, BloomRfConfig, LayerSpec, OnlineFilter, PointRangeFilter,
+        RangePolicy,
+    };
+    pub use bloomrf_filters::FilterKind;
+    pub use bloomrf_lsm::{Db, DbOptions};
+    pub use bloomrf_workloads::{Distribution, QueryGenerator, Sampler, YcsbEConfig, YcsbEWorkload};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        let filter = BloomRf::basic(64, 10, 10.0, 7).unwrap();
+        filter.insert(1);
+        assert!(filter.contains_point(1));
+        let _ = FilterKind::Bloom.label();
+        let _ = Distribution::Uniform.label();
+    }
+}
