@@ -29,9 +29,14 @@ fn bench_basic_vs_extended(c: &mut Criterion) {
     let mut generator = QueryGenerator::new(&keys, Distribution::Uniform, 2);
     let queries = generator.empty_ranges(2_000, 1 << 24);
 
-    let basic = loaded(BloomRfConfig::basic(64, N_KEYS, BITS_PER_KEY, 7).unwrap(), &keys);
+    let basic = loaded(
+        BloomRfConfig::basic(64, N_KEYS, BITS_PER_KEY, 7).unwrap(),
+        &keys,
+    );
     let tuned = loaded(
-        TuningAdvisor::tune_for(64, N_KEYS, BITS_PER_KEY, (1u64 << 24) as f64).unwrap().config,
+        TuningAdvisor::tune_for(64, N_KEYS, BITS_PER_KEY, (1u64 << 24) as f64)
+            .unwrap()
+            .config,
         &keys,
     );
 
@@ -55,11 +60,16 @@ fn bench_basic_vs_extended(c: &mut Criterion) {
 
 fn bench_range_policy(c: &mut Criterion) {
     let keys = Sampler::new(Distribution::Uniform, 64, 3).sample_distinct(N_KEYS);
-    let exact = loaded(BloomRfConfig::basic(64, N_KEYS, BITS_PER_KEY, 7).unwrap(), &keys);
+    let exact = loaded(
+        BloomRfConfig::basic(64, N_KEYS, BITS_PER_KEY, 7).unwrap(),
+        &keys,
+    );
     let conservative = loaded(
         BloomRfConfig::basic(64, N_KEYS, BITS_PER_KEY, 7)
             .unwrap()
-            .with_range_policy(RangePolicy::Conservative { max_words_per_layer: 4 }),
+            .with_range_policy(RangePolicy::Conservative {
+                max_words_per_layer: 4,
+            }),
         &keys,
     );
     // Oversized ranges (beyond the basic design maximum) stress the policy.
@@ -129,7 +139,10 @@ fn bench_delta_word_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_delta");
     group.sample_size(20);
     for delta in [1u32, 4, 7] {
-        let filter = loaded(BloomRfConfig::basic(64, N_KEYS, BITS_PER_KEY, delta).unwrap(), &keys);
+        let filter = loaded(
+            BloomRfConfig::basic(64, N_KEYS, BITS_PER_KEY, delta).unwrap(),
+            &keys,
+        );
         group.bench_with_input(BenchmarkId::from_parameter(delta), &filter, |b, filter| {
             b.iter(|| {
                 let mut fp = 0usize;

@@ -56,17 +56,21 @@ fn bench_point_lookup(c: &mut Criterion) {
         FilterKind::Surf,
     ] {
         let filter = kind.build(&keys, BITS_PER_KEY);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &filter, |b, filter| {
-            b.iter(|| {
-                let mut hits = 0usize;
-                for &p in &probes {
-                    if filter.may_contain(black_box(p)) {
-                        hits += 1;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &filter,
+            |b, filter| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &p in &probes {
+                        if filter.may_contain(black_box(p)) {
+                            hits += 1;
+                        }
                     }
-                }
-                black_box(hits)
-            })
-        });
+                    black_box(hits)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -24,15 +24,27 @@ fn main() {
 
     let mut overlay = Report::new(
         "fig05a_word_overlay",
-        &["distribution", "layer", "mean_words_per_element", "p95_words_per_element"],
+        &[
+            "distribution",
+            "layer",
+            "mean_words_per_element",
+            "p95_words_per_element",
+        ],
     );
     let mut runs = Report::new(
         "fig05bc_zero_runs",
-        &["distribution", "filter", "zero_runs", "mean_run_len", "mean_run_distance", "load_factor"],
+        &[
+            "distribution",
+            "filter",
+            "zero_runs",
+            "mean_run_len",
+            "mean_run_distance",
+            "load_factor",
+        ],
     );
 
     for dist in Distribution::paper_set() {
-        let keys = Sampler::new(dist, 64, 05_2023).sample_many(n_keys);
+        let keys = Sampler::new(dist, 64, 5_2023).sample_many(n_keys);
 
         // --- bloomRF (basic, Δ = 7 → 64-bit words) --------------------------
         let filter = BloomRf::basic(64, n_keys, bits_per_key, 7).expect("config");
@@ -53,7 +65,8 @@ fn main() {
                 let prefix = pm.hashed_prefix(k);
                 if seen.insert(prefix) {
                     // Each distinct word is written once; find its element.
-                    let bit = pm.word_index_of_hashed(prefix, word_count) * layer.word_bits() as u64;
+                    let bit =
+                        pm.word_index_of_hashed(prefix, word_count) * layer.word_bits() as u64;
                     counts[(bit / 64) as usize] += 1;
                 }
             }

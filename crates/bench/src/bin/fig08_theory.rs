@@ -34,7 +34,13 @@ fn main() {
             let lb = model::range_lower_bound_bits_per_key(eps, r, n_keys as f64, domain_bits);
             let rosetta = model::rosetta_first_cut_bits_per_key(eps, r);
             let bloomrf = model::basic_bits_per_key_for_fpr(domain_bits, n_keys, delta, r, eps);
-            range.row(&[sig(eps), format!("{r}"), sig(lb), sig(rosetta), sig(bloomrf)]);
+            range.row(&[
+                sig(eps),
+                format!("{r}"),
+                sig(lb),
+                sig(rosetta),
+                sig(bloomrf),
+            ]);
         }
     }
 

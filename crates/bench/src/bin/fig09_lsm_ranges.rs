@@ -32,15 +32,30 @@ fn main() {
     let n_keys = scale.keys(500_000);
     let n_queries = scale.queries(5_000);
 
-    let range_sizes: Vec<u64> =
-        vec![2, 16, 64, 1_000, 100_000, 10_000_000, 1_000_000_000, 100_000_000_000];
+    let range_sizes: Vec<u64> = vec![
+        2,
+        16,
+        64,
+        1_000,
+        100_000,
+        10_000_000,
+        1_000_000_000,
+        100_000_000_000,
+    ];
 
     let mut ranges_report = Report::new(
         "fig09_range_scans",
-        &["workload", "range", "filter", "fpr", "exec_time_s", "blocks_read", "scan_mops"],
+        &[
+            "workload",
+            "range",
+            "filter",
+            "fpr",
+            "exec_time_s",
+            "blocks_read",
+            "scan_mops",
+        ],
     );
-    let mut points_report =
-        Report::new("fig09_point_insets", &["workload", "filter", "point_fpr"]);
+    let mut points_report = Report::new("fig09_point_insets", &["workload", "filter", "point_fpr"]);
     let mut baselines_report = Report::new(
         "fig09d_classical_baselines",
         &["range", "filter", "fpr", "exec_time_s"],
@@ -55,8 +70,7 @@ fn main() {
     });
 
     for query_dist in Distribution::paper_set() {
-        let mut generator =
-            QueryGenerator::new(&base_workload.load_keys, query_dist, 0x09F1);
+        let mut generator = QueryGenerator::new(&base_workload.load_keys, query_dist, 0x09F1);
         let point_probes = generator.empty_points(n_queries);
 
         for kind in FilterKind::point_range_filters(1 << 14) {
@@ -111,11 +125,17 @@ fn main() {
     let mut generator = QueryGenerator::new(&base_workload.load_keys, Distribution::Uniform, 0x09D);
     for &range in &range_sizes {
         let queries = generator.empty_ranges(n_queries, range);
-        for kind in [FilterKind::PrefixBloom { prefix_shift: 24 }, FilterKind::FencePointers] {
+        for kind in [
+            FilterKind::PrefixBloom { prefix_shift: 24 },
+            FilterKind::FencePointers,
+        ] {
             let db = load_db(kind, bits_per_key, &base_workload);
             db.reset_stats();
             let (positives, secs) = timed(|| {
-                queries.iter().filter(|q| db.range_is_possibly_non_empty(q.lo, q.hi)).count()
+                queries
+                    .iter()
+                    .filter(|q| db.range_is_possibly_non_empty(q.lo, q.hi))
+                    .count()
             });
             let stats = db.stats();
             baselines_report.row(&[

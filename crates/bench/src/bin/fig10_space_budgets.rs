@@ -54,7 +54,10 @@ fn main() {
                 db.flush();
                 db.reset_stats();
                 let (positives, secs) = timed(|| {
-                    queries.iter().filter(|q| db.range_is_possibly_non_empty(q.lo, q.hi)).count()
+                    queries
+                        .iter()
+                        .filter(|q| db.range_is_possibly_non_empty(q.lo, q.hi))
+                        .count()
                 });
                 let stats = db.stats();
                 report.row(&[

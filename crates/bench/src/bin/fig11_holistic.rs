@@ -11,11 +11,19 @@ use bloomrf_filters::FilterKind;
 use bloomrf_workloads::{Distribution, QueryGenerator, Sampler};
 use std::collections::HashMap;
 
+/// (key_dist, query_dist, bpk, range) cell of the flattened Figure 1 grid.
+type FlatKey = (String, String, String, u64);
+/// Per-filter (FPR sum, sample count) accumulators for one grid cell.
+type FprSums = HashMap<&'static str, (f64, usize)>;
+
 fn main() {
     let scale = ExpScale::from_env();
     let budgets = [10.0, 14.0, 18.0, 22.0];
-    let key_counts: Vec<usize> =
-        if scale.quick { vec![1_000, 20_000] } else { vec![1_000, 10_000, 100_000, scale.keys(1_000_000)] };
+    let key_counts: Vec<usize> = if scale.quick {
+        vec![1_000, 20_000]
+    } else {
+        vec![1_000, 10_000, 100_000, scale.keys(1_000_000)]
+    };
     let ranges: Vec<u64> = vec![8, 32, 10_000, 1_000_000, 100_000_000, 10_000_000_000];
     let n_queries = scale.queries(2_000);
 
@@ -34,13 +42,13 @@ fn main() {
         ],
     );
     // (key_dist, query_dist, bpk, range) -> per-filter FPR sums over key counts.
-    let mut flattened: HashMap<(String, String, String, u64), HashMap<&'static str, (f64, usize)>> =
-        HashMap::new();
+    let mut flattened: HashMap<FlatKey, FprSums> = HashMap::new();
 
     for key_dist in Distribution::paper_set() {
         for query_dist in Distribution::paper_set() {
             for &n_keys in &key_counts {
-                let keys = Sampler::new(key_dist, 64, 0x11AA ^ n_keys as u64).sample_distinct(n_keys);
+                let keys =
+                    Sampler::new(key_dist, 64, 0x11AA ^ n_keys as u64).sample_distinct(n_keys);
                 let mut generator = QueryGenerator::new(&keys, query_dist, 0x11BB);
                 for &range in &ranges {
                     let queries = generator.empty_ranges(n_queries, range);
@@ -95,7 +103,14 @@ fn main() {
     // Figure 1: average over the number of keys, report the winner per cell.
     let mut fig1 = Report::new(
         "fig01_flattened",
-        &["key_dist", "query_dist", "bits_per_key", "range", "winner", "winner_avg_fpr"],
+        &[
+            "key_dist",
+            "query_dist",
+            "bits_per_key",
+            "range",
+            "winner",
+            "winner_avg_fpr",
+        ],
     );
     let mut cells: Vec<_> = flattened.into_iter().collect();
     cells.sort_by(|a, b| a.0.cmp(&b.0));
@@ -105,7 +120,14 @@ fn main() {
             .map(|(name, (sum, count))| (name, sum / count.max(1) as f64))
             .collect();
         avg.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        fig1.row(&[kd, qd, bpk, range.to_string(), avg[0].0.to_string(), sig(avg[0].1)]);
+        fig1.row(&[
+            kd,
+            qd,
+            bpk,
+            range.to_string(),
+            avg[0].0.to_string(),
+            sig(avg[0].1),
+        ]);
     }
     fig1.finish();
     println!(

@@ -12,7 +12,11 @@ use std::time::{Duration, Instant};
 fn main() {
     let scale = ExpScale::from_env();
     let n_keys = scale.keys(1_000_000);
-    let run_for = if scale.quick { Duration::from_millis(150) } else { Duration::from_millis(500) };
+    let run_for = if scale.quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(500)
+    };
     let range_size = 1u64 << 10;
 
     let keys = Arc::new(Sampler::new(Distribution::Uniform, 64, 0x12B).sample_many(n_keys));
@@ -50,7 +54,9 @@ fn main() {
                     while !stop.load(Ordering::Relaxed) {
                         let probe = keys[i % keys.len()];
                         std::hint::black_box(filter.contains_point(probe));
-                        std::hint::black_box(filter.contains_range(probe, probe.saturating_add(range_size)));
+                        std::hint::black_box(
+                            filter.contains_range(probe, probe.saturating_add(range_size)),
+                        );
                         point_ops += 1;
                         range_ops += 1;
                         i += 7;
@@ -97,7 +103,11 @@ fn main() {
                 insert_threads.to_string(),
                 sig(point_tp / lookup_threads.max(1) as f64),
                 sig(range_tp / lookup_threads.max(1) as f64),
-                sig(if insert_threads == 0 { 0.0 } else { insert_tp / insert_threads as f64 }),
+                sig(if insert_threads == 0 {
+                    0.0
+                } else {
+                    insert_tp / insert_threads as f64
+                }),
             ]);
         }
     }

@@ -15,7 +15,13 @@ fn main() {
 
     let mut report = Report::new(
         "fig12c_creation",
-        &["bits_per_key", "filter", "build_s", "serialize_s", "filter_MiB"],
+        &[
+            "bits_per_key",
+            "filter",
+            "build_s",
+            "serialize_s",
+            "filter_MiB",
+        ],
     );
 
     for bpk in [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0] {

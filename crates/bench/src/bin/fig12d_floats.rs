@@ -20,7 +20,12 @@ fn main() {
 
     let mut report = Report::new(
         "fig12d_floats",
-        &["bits_per_key", "fpr", "lookup_mops", "avg_probed_range_width_codes"],
+        &[
+            "bits_per_key",
+            "fpr",
+            "lookup_mops",
+            "avg_probed_range_width_codes",
+        ],
     );
 
     // Build the empty queries once: anchors between dataset values, shifted so

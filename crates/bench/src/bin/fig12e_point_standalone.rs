@@ -15,7 +15,13 @@ fn main() {
     let keys = Sampler::new(Distribution::Uniform, 64, 12_005).sample_distinct(n_keys);
     let mut report = Report::new(
         "fig12e_point_standalone",
-        &["workload", "bits_per_key", "filter", "point_fpr", "actual_bpk"],
+        &[
+            "workload",
+            "bits_per_key",
+            "filter",
+            "point_fpr",
+            "actual_bpk",
+        ],
     );
 
     let kinds = [

@@ -28,15 +28,24 @@ fn main() {
     let objects = sdss_like_objects(n_objects, 0x12F);
     let mut report = Report::new(
         "fig12f_multiattr",
-        &["bits_per_key", "multi_fpr", "multi_mops", "separate_fpr", "separate_mops"],
+        &[
+            "bits_per_key",
+            "multi_fpr",
+            "multi_mops",
+            "separate_fpr",
+            "separate_mops",
+        ],
     );
 
     // Query constants: object ids belonging to rows whose run is >= threshold
     // (so `Run < 300 AND ObjectID = const` is empty) plus ids that do not exist.
     let mut rng = Rng::new(99);
     let mut constants: Vec<u64> = Vec::with_capacity(n_queries);
-    let high_run_ids: Vec<u64> =
-        objects.iter().filter(|o| o.run >= run_threshold).map(|o| o.object_id).collect();
+    let high_run_ids: Vec<u64> = objects
+        .iter()
+        .filter(|o| o.run >= run_threshold)
+        .map(|o| o.object_id)
+        .collect();
     while constants.len() < n_queries {
         if rng.next_below(2) == 0 && !high_run_ids.is_empty() {
             constants.push(high_run_ids[rng.next_below(high_run_ids.len() as u64) as usize]);

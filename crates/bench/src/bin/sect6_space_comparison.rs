@@ -40,8 +40,10 @@ fn main() {
         let range = (1u64 << exp) as f64;
         let rosetta = model::rosetta_first_cut_bits_per_key(0.02, range);
         let bloomrf_bpk = model::basic_bits_per_key_for_fpr(64, n_model, delta, range, 0.02);
-        let fpr17 = model::basic_range_fpr(k_model, delta, n_model as f64, 17.0 * n_model as f64, range);
-        let fpr22 = model::basic_range_fpr(k_model, delta, n_model as f64, 22.0 * n_model as f64, range);
+        let fpr17 =
+            model::basic_range_fpr(k_model, delta, n_model as f64, 17.0 * n_model as f64, range);
+        let fpr22 =
+            model::basic_range_fpr(k_model, delta, n_model as f64, 22.0 * n_model as f64, range);
         let queries = generator.empty_ranges(scale.queries(3_000), 1u64 << exp);
         let measured = range_fpr(&filter17, &queries);
         report.row(&[

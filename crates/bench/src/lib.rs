@@ -31,7 +31,10 @@ pub struct ExpScale {
 impl ExpScale {
     /// Read `SCALE` and `QUICK` from the environment.
     pub fn from_env() -> Self {
-        let scale = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let scale = std::env::var("SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
         let quick = std::env::var("QUICK").map(|v| v != "0").unwrap_or(false)
             || std::env::args().any(|a| a == "--quick");
         Self { scale, quick }
@@ -120,7 +123,9 @@ impl Report {
 
 /// Directory where experiment CSVs are collected.
 pub fn results_dir() -> PathBuf {
-    std::env::var("RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+    std::env::var("RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
 /// Measure the false-positive rate of a filter over a set of *empty* range
@@ -129,7 +134,10 @@ pub fn range_fpr(filter: &dyn PointRangeFilter, queries: &[RangeQuery]) -> f64 {
     if queries.is_empty() {
         return 0.0;
     }
-    let fp = queries.iter().filter(|q| filter.may_contain_range(q.lo, q.hi)).count();
+    let fp = queries
+        .iter()
+        .filter(|q| filter.may_contain_range(q.lo, q.hi))
+        .count();
     fp as f64 / queries.len() as f64
 }
 
@@ -204,13 +212,22 @@ mod tests {
 
     #[test]
     fn scale_parsing_and_report() {
-        let scale = ExpScale { scale: 1.0, quick: false };
+        let scale = ExpScale {
+            scale: 1.0,
+            quick: false,
+        };
         assert_eq!(scale.keys(100_000), 100_000);
-        let quick = ExpScale { scale: 1.0, quick: true };
+        let quick = ExpScale {
+            scale: 1.0,
+            quick: true,
+        };
         assert!(quick.keys(100_000) < 100_000);
         assert!(quick.queries(10_000) >= 200);
 
-        std::env::set_var("RESULTS_DIR", std::env::temp_dir().join("bloomrf_test_results"));
+        std::env::set_var(
+            "RESULTS_DIR",
+            std::env::temp_dir().join("bloomrf_test_results"),
+        );
         let mut report = Report::new("unit_test_report", &["a", "b"]);
         report.push(&[1, 2]);
         report.row(&["x".into(), "y".into()]);

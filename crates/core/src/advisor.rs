@@ -39,7 +39,7 @@ impl AdvisorParams {
             max_range,
             point_weight: 1.0,
             distribution_constant: 1.0,
-            hash_seed: 0xB10_0F_B10_0F,
+            hash_seed: 0x00B1_00FB_100F,
         }
     }
 }
@@ -78,7 +78,13 @@ impl TuningAdvisor {
         bits_per_key: f64,
         max_range: f64,
     ) -> Result<TunedConfig, ConfigError> {
-        Self::new(AdvisorParams::new(domain_bits, n_keys, bits_per_key, max_range)).tune()
+        Self::new(AdvisorParams::new(
+            domain_bits,
+            n_keys,
+            bits_per_key,
+            max_range,
+        ))
+        .tune()
     }
 
     /// Compute the best configuration for the stored parameters.
@@ -96,7 +102,10 @@ impl TuningAdvisor {
             return Err(ConfigError::InvalidDomainBits(p.domain_bits));
         }
         if p.memory_bits < 64 {
-            return Err(ConfigError::BudgetTooSmall { requested_bits: p.memory_bits, minimum_bits: 64 });
+            return Err(ConfigError::BudgetTooSmall {
+                requested_bits: p.memory_bits,
+                minimum_bits: 64,
+            });
         }
         let n = p.n_keys.max(1);
         let bits_per_key = p.memory_bits as f64 / n as f64;
@@ -107,14 +116,21 @@ impl TuningAdvisor {
             let profile = evaluate_config(&config, n, p.distribution_constant);
             let range_fpr = profile.max_up_to_range(p.max_range);
             let point_fpr = profile.point;
-            let objective =
-                (range_fpr * range_fpr + p.point_weight * p.point_weight * point_fpr * point_fpr).sqrt();
+            let objective = (range_fpr * range_fpr
+                + p.point_weight * p.point_weight * point_fpr * point_fpr)
+                .sqrt();
             let better = match &best {
                 None => true,
                 Some(b) => objective < b.objective,
             };
             if better {
-                best = Some(TunedConfig { config, profile, range_fpr, point_fpr, objective });
+                best = Some(TunedConfig {
+                    config,
+                    profile,
+                    range_fpr,
+                    point_fpr,
+                    objective,
+                });
             }
         };
 
@@ -165,7 +181,7 @@ impl TuningAdvisor {
         let p = self.params;
         // Segment 0: mid layers (gap < 7), segment 1: bottom layers (gap == 7).
         let has_mid = gaps_bottom_up.iter().any(|&g| g < 7);
-        let has_bottom = gaps_bottom_up.iter().any(|&g| g == 7);
+        let has_bottom = gaps_bottom_up.contains(&7);
         let (mid_bits, bottom_bits) = if has_mid && has_bottom {
             let mid = ((probabilistic_bits as f64) * mid_share) as usize;
             (mid.max(64), probabilistic_bits.saturating_sub(mid).max(64))
@@ -195,7 +211,13 @@ impl TuningAdvisor {
             level += gap;
         }
         debug_assert_eq!(level, exact_level);
-        BloomRfConfig::new(p.domain_bits, layers, segment_bits, Some(exact_level), p.hash_seed)
+        BloomRfConfig::new(
+            p.domain_bits,
+            layers,
+            segment_bits,
+            Some(exact_level),
+            p.hash_seed,
+        )
     }
 }
 
@@ -258,7 +280,10 @@ mod tests {
         for level in 1..=64u32 {
             let v = delta_vector_for(level);
             assert_eq!(v.iter().sum::<u32>(), level, "level {level}: {v:?}");
-            assert!(v.iter().all(|&g| (1..=7).contains(&g)), "level {level}: {v:?}");
+            assert!(
+                v.iter().all(|&g| (1..=7).contains(&g)),
+                "level {level}: {v:?}"
+            );
         }
     }
 
@@ -337,8 +362,18 @@ mod tests {
     #[test]
     fn point_weight_trades_point_for_range_fpr() {
         let base = AdvisorParams::new(64, 500_000, 14.0, 1e8);
-        let range_heavy = TuningAdvisor::new(AdvisorParams { point_weight: 0.1, ..base }).tune().unwrap();
-        let point_heavy = TuningAdvisor::new(AdvisorParams { point_weight: 10.0, ..base }).tune().unwrap();
+        let range_heavy = TuningAdvisor::new(AdvisorParams {
+            point_weight: 0.1,
+            ..base
+        })
+        .tune()
+        .unwrap();
+        let point_heavy = TuningAdvisor::new(AdvisorParams {
+            point_weight: 10.0,
+            ..base
+        })
+        .tune()
+        .unwrap();
         assert!(point_heavy.point_fpr <= range_heavy.point_fpr + 1e-9);
     }
 }

@@ -31,7 +31,10 @@ pub struct BitVec {
 impl BitVec {
     /// Create a zeroed bit vector with room for `bits` bits (rounded up to 64).
     pub fn new(bits: usize) -> Self {
-        Self { words: vec![0u64; words_for_bits(bits)], bits }
+        Self {
+            words: vec![0u64; words_for_bits(bits)],
+            bits,
+        }
     }
 
     /// Number of addressable bits.
@@ -55,7 +58,11 @@ impl BitVec {
     /// Set bit `idx` to one.
     #[inline]
     pub fn set(&mut self, idx: usize) {
-        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
         self.words[idx / 64] |= 1u64 << (idx % 64);
     }
 
@@ -69,7 +76,11 @@ impl BitVec {
     /// Read bit `idx`.
     #[inline]
     pub fn get(&self, idx: usize) -> bool {
-        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
         (self.words[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
@@ -77,7 +88,7 @@ impl BitVec {
     /// `width`-aligned bit position `start`.
     #[inline]
     pub fn load_word(&self, start: usize, width: u32) -> u64 {
-        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert!((1..=64).contains(&width) && 64 % width == 0);
         debug_assert_eq!(start % width as usize, 0, "unaligned word load");
         let word = self.words[start / 64];
         let shift = (start % 64) as u32;
@@ -91,7 +102,7 @@ impl BitVec {
     /// OR a logical word of `width` bits into the array at aligned position `start`.
     #[inline]
     pub fn or_word(&mut self, start: usize, width: u32, value: u64) {
-        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert!((1..=64).contains(&width) && 64 % width == 0);
         debug_assert_eq!(start % width as usize, 0, "unaligned word store");
         let shift = (start % 64) as u32;
         self.words[start / 64] |= value << shift;
@@ -265,14 +276,22 @@ impl AtomicBits {
     /// Atomically set bit `idx`.
     #[inline]
     pub fn set(&self, idx: usize) {
-        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
         self.words[idx / 64].fetch_or(1u64 << (idx % 64), Ordering::Relaxed);
     }
 
     /// Read bit `idx`.
     #[inline]
     pub fn get(&self, idx: usize) -> bool {
-        debug_assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
         (self.words[idx / 64].load(Ordering::Relaxed) >> (idx % 64)) & 1 == 1
     }
 
@@ -280,7 +299,7 @@ impl AtomicBits {
     /// bit position `start`.
     #[inline]
     pub fn load_word(&self, start: usize, width: u32) -> u64 {
-        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert!((1..=64).contains(&width) && 64 % width == 0);
         debug_assert_eq!(start % width as usize, 0, "unaligned word load");
         let word = self.words[start / 64].load(Ordering::Relaxed);
         let shift = (start % 64) as u32;
@@ -294,7 +313,7 @@ impl AtomicBits {
     /// OR a logical word of `width` bits into the array at aligned position `start`.
     #[inline]
     pub fn or_word(&self, start: usize, width: u32, value: u64) {
-        debug_assert!(width >= 1 && width <= 64 && 64 % width == 0);
+        debug_assert!((1..=64).contains(&width) && 64 % width == 0);
         debug_assert_eq!(start % width as usize, 0, "unaligned word store");
         let shift = (start % 64) as u32;
         self.words[start / 64].fetch_or(value << shift, Ordering::Relaxed);
@@ -302,7 +321,10 @@ impl AtomicBits {
 
     /// Count of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
     }
 
     /// True if any bit in the inclusive bit range `[lo, hi]` is set.
@@ -330,8 +352,15 @@ impl AtomicBits {
     /// Snapshot the array into a plain [`BitVec`] (used for serialization and
     /// the scatter analysis).
     pub fn snapshot(&self) -> BitVec {
-        let words: Vec<u64> = self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect();
-        BitVec { words, bits: self.bits }
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        BitVec {
+            words,
+            bits: self.bits,
+        }
     }
 
     /// Restore an atomic array from a plain snapshot.
@@ -340,7 +369,10 @@ impl AtomicBits {
         for w in &bv.words {
             words.push(AtomicU64::new(*w));
         }
-        Self { words, bits: bv.bits }
+        Self {
+            words,
+            bits: bv.bits,
+        }
     }
 }
 

@@ -30,7 +30,12 @@ pub struct LayerSpec {
 impl LayerSpec {
     /// Convenience constructor.
     pub fn new(level: u32, gap: u32, replicas: u32, segment: usize) -> Self {
-        Self { level, gap, replicas, segment }
+        Self {
+            level,
+            gap,
+            replicas,
+            segment,
+        }
     }
 
     /// Number of in-word offset bits (`Δ_i - 1`).
@@ -98,19 +103,28 @@ impl BloomRfConfig {
     /// Basic, tuning-free bloomRF (Sect. 3): equidistant levels with distance
     /// `delta`, one segment of `n_keys * bits_per_key` bits, one hash function
     /// per layer and `k = ceil((d - log2 n) / Δ)` layers.
-    pub fn basic(domain_bits: u32, n_keys: usize, bits_per_key: f64, delta: u32) -> Result<Self, ConfigError> {
+    pub fn basic(
+        domain_bits: u32,
+        n_keys: usize,
+        bits_per_key: f64,
+        delta: u32,
+    ) -> Result<Self, ConfigError> {
         if domain_bits == 0 || domain_bits > 64 {
             return Err(ConfigError::InvalidDomainBits(domain_bits));
         }
         if !(1..=7).contains(&delta) {
-            return Err(ConfigError::InvalidGap { layer: 0, gap: delta });
+            return Err(ConfigError::InvalidGap {
+                layer: 0,
+                gap: delta,
+            });
         }
         let n = n_keys.max(1);
         let log2n = (usize::BITS - n.leading_zeros()).saturating_sub(1);
         let usable = (domain_bits.saturating_sub(log2n)).max(delta);
         let k = usable.div_ceil(delta).max(1);
-        let layers: Vec<LayerSpec> =
-            (0..k).map(|i| LayerSpec::new(i * delta, delta, 1, 0)).collect();
+        let layers: Vec<LayerSpec> = (0..k)
+            .map(|i| LayerSpec::new(i * delta, delta, 1, 0))
+            .collect();
         let m = ((n as f64 * bits_per_key).ceil() as usize).max(64);
         let m = m.div_ceil(64) * 64;
         Self::new(domain_bits, layers, vec![m], None, 0x51_70_AD_5E)
@@ -162,19 +176,28 @@ impl BloomRfConfig {
                 });
             }
             if !(1..=7).contains(&layer.gap) {
-                return Err(ConfigError::InvalidGap { layer: idx, gap: layer.gap });
+                return Err(ConfigError::InvalidGap {
+                    layer: idx,
+                    gap: layer.gap,
+                });
             }
             if layer.replicas == 0 {
                 return Err(ConfigError::InvalidReplicas { layer: idx });
             }
             if layer.segment >= self.segment_bits.len() {
-                return Err(ConfigError::SegmentOutOfRange { layer: idx, segment: layer.segment });
+                return Err(ConfigError::SegmentOutOfRange {
+                    layer: idx,
+                    segment: layer.segment,
+                });
             }
             expected = layer.boundary();
         }
         for (idx, bits) in self.segment_bits.iter().enumerate() {
             if *bits < 64 {
-                return Err(ConfigError::SegmentTooSmall { segment: idx, bits: *bits });
+                return Err(ConfigError::SegmentTooSmall {
+                    segment: idx,
+                    bits: *bits,
+                });
             }
         }
         let top_boundary = self.top_boundary();
@@ -319,10 +342,16 @@ mod tests {
             None,
             1,
         );
-        assert!(matches!(err, Err(ConfigError::NonContiguousLayers { layer: 1, .. })));
+        assert!(matches!(
+            err,
+            Err(ConfigError::NonContiguousLayers { layer: 1, .. })
+        ));
         // Bottom layer not at level 0.
         let err = BloomRfConfig::new(64, vec![LayerSpec::new(3, 7, 1, 0)], vec![1024], None, 1);
-        assert!(matches!(err, Err(ConfigError::BottomLayerNotAtLevelZero(3))));
+        assert!(matches!(
+            err,
+            Err(ConfigError::BottomLayerNotAtLevelZero(3))
+        ));
         // Missing segment.
         let err = BloomRfConfig::new(64, vec![LayerSpec::new(0, 7, 1, 1)], vec![1024], None, 1);
         assert!(matches!(err, Err(ConfigError::SegmentOutOfRange { .. })));
@@ -333,7 +362,13 @@ mod tests {
         let err = BloomRfConfig::new(64, vec![], vec![1024], None, 1);
         assert!(matches!(err, Err(ConfigError::NoLayers)));
         // Exact level must match the top boundary.
-        let err = BloomRfConfig::new(64, vec![LayerSpec::new(0, 7, 1, 0)], vec![1024], Some(10), 1);
+        let err = BloomRfConfig::new(
+            64,
+            vec![LayerSpec::new(0, 7, 1, 0)],
+            vec![1024],
+            Some(10),
+            1,
+        );
         assert!(matches!(err, Err(ConfigError::InvalidExactLevel { .. })));
     }
 
@@ -360,14 +395,8 @@ mod tests {
 
     #[test]
     fn segment_rounding_and_bits_per_key() {
-        let cfg = BloomRfConfig::new(
-            32,
-            vec![LayerSpec::new(0, 7, 1, 0)],
-            vec![100],
-            None,
-            1,
-        )
-        .unwrap();
+        let cfg =
+            BloomRfConfig::new(32, vec![LayerSpec::new(0, 7, 1, 0)], vec![100], None, 1).unwrap();
         assert_eq!(cfg.segment_bits, vec![128]);
         assert!((cfg.bits_per_key(16) - 8.0).abs() < 1e-9);
         assert_eq!(cfg.max_key(), u32::MAX as u64);
@@ -377,11 +406,18 @@ mod tests {
     fn builder_setters() {
         let cfg = BloomRfConfig::basic(64, 1000, 10.0, 7)
             .unwrap()
-            .with_range_policy(RangePolicy::Conservative { max_words_per_layer: 8 })
+            .with_range_policy(RangePolicy::Conservative {
+                max_words_per_layer: 8,
+            })
             .with_seed(99)
             .with_word_layout(WordLayout::Alternating);
         assert_eq!(cfg.hash_seed, 99);
-        assert_eq!(cfg.range_policy, RangePolicy::Conservative { max_words_per_layer: 8 });
+        assert_eq!(
+            cfg.range_policy,
+            RangePolicy::Conservative {
+                max_words_per_layer: 8
+            }
+        );
         assert_eq!(cfg.word_layout, WordLayout::Alternating);
     }
 }

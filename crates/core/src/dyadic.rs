@@ -23,7 +23,10 @@ impl DyadicInterval {
     /// The DI on `level` containing `key`.
     #[inline]
     pub fn containing(key: u64, level: u32) -> Self {
-        Self { prefix: shr(key, level), level }
+        Self {
+            prefix: shr(key, level),
+            level,
+        }
     }
 
     /// Inclusive lower bound of the interval.
@@ -79,15 +82,24 @@ impl DyadicInterval {
     /// Parent interval one level up.
     #[inline]
     pub fn parent(&self) -> Self {
-        Self { prefix: self.prefix >> 1, level: self.level + 1 }
+        Self {
+            prefix: self.prefix >> 1,
+            level: self.level + 1,
+        }
     }
 
     /// Left / right children one level down (level must be > 0).
     #[inline]
     pub fn children(&self) -> (Self, Self) {
         debug_assert!(self.level > 0);
-        let l = Self { prefix: self.prefix << 1, level: self.level - 1 };
-        let r = Self { prefix: (self.prefix << 1) | 1, level: self.level - 1 };
+        let l = Self {
+            prefix: self.prefix << 1,
+            level: self.level - 1,
+        };
+        let r = Self {
+            prefix: (self.prefix << 1) | 1,
+            level: self.level - 1,
+        };
         (l, r)
     }
 }
@@ -101,16 +113,36 @@ pub fn canonical_decomposition(lo: u64, hi: u64, domain_bits: u32) -> Vec<Dyadic
     assert!(lo <= hi, "empty interval [{lo}, {hi}]");
     let mut out = Vec::new();
     let mut lo = lo;
-    let max = if domain_bits >= 64 { u64::MAX } else { (1u64 << domain_bits) - 1 };
+    let max = if domain_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << domain_bits) - 1
+    };
     debug_assert!(hi <= max, "interval exceeds the domain");
     loop {
         // Largest aligned DI starting at `lo` and not exceeding `hi`.
-        let align = if lo == 0 { domain_bits.min(63) } else { lo.trailing_zeros() };
+        let align = if lo == 0 {
+            domain_bits.min(63)
+        } else {
+            lo.trailing_zeros()
+        };
         let remaining = hi - lo; // inclusive span minus one
-        let fit = if remaining == u64::MAX { 64 } else { 64 - (remaining + 1).leading_zeros() - 1 };
+        let fit = if remaining == u64::MAX {
+            64
+        } else {
+            64 - (remaining + 1).leading_zeros() - 1
+        };
         let level = align.min(fit).min(domain_bits);
-        out.push(DyadicInterval { prefix: shr(lo, level), level });
-        let end = shl(shr(lo, level), level) | if level >= 64 { u64::MAX } else { (1u64 << level) - 1 };
+        out.push(DyadicInterval {
+            prefix: shr(lo, level),
+            level,
+        });
+        let end = shl(shr(lo, level), level)
+            | if level >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << level) - 1
+            };
         if end >= hi {
             break;
         }
@@ -140,7 +172,10 @@ pub fn two_path_intervals(lo: u64, hi: u64, top_level: u32) -> Vec<PathInterval>
     assert!(lo <= hi);
     let mut out = Vec::new();
     let top = DyadicInterval::containing(lo, top_level);
-    assert!(top.contains(hi), "top level {top_level} does not cover [{lo}, {hi}]");
+    assert!(
+        top.contains(hi),
+        "top level {top_level} does not cover [{lo}, {hi}]"
+    );
     let mut merged = true;
     let mut left_cover: Option<DyadicInterval>;
     let mut right_cover: Option<DyadicInterval> = None;
@@ -241,7 +276,10 @@ mod tests {
 
     #[test]
     fn interval_geometry() {
-        let di = DyadicInterval { prefix: 0b11, level: 1 };
+        let di = DyadicInterval {
+            prefix: 0b11,
+            level: 1,
+        };
         assert_eq!(di.start(), 6);
         assert_eq!(di.end(), 7);
         assert_eq!(di.len(), 2);
@@ -251,9 +289,21 @@ mod tests {
         assert!(!di.contained_in(7, 100));
         assert!(di.overlaps(7, 20));
         assert!(!di.overlaps(8, 20));
-        assert_eq!(di.parent(), DyadicInterval { prefix: 1, level: 2 });
+        assert_eq!(
+            di.parent(),
+            DyadicInterval {
+                prefix: 1,
+                level: 2
+            }
+        );
         let (l, r) = di.parent().children();
-        assert_eq!(l, DyadicInterval { prefix: 0b10, level: 1 });
+        assert_eq!(
+            l,
+            DyadicInterval {
+                prefix: 0b10,
+                level: 1
+            }
+        );
         assert_eq!(r, di);
     }
 
@@ -264,7 +314,10 @@ mod tests {
         assert_eq!(DyadicInterval::containing(5, 1).prefix, 2);
         assert_eq!(DyadicInterval::containing(5, 0).prefix, 5);
         // Prefix 0b11 on level 1 corresponds to the DI [6, 7].
-        let di = DyadicInterval { prefix: 0b11, level: 1 };
+        let di = DyadicInterval {
+            prefix: 0b11,
+            level: 1,
+        };
         assert_eq!((di.start(), di.end()), (6, 7));
         // Exactly keys 6 and 7 share that prefix.
         assert_eq!(DyadicInterval::containing(6, 1), di);
@@ -274,7 +327,10 @@ mod tests {
 
     #[test]
     fn full_domain_interval() {
-        let di = DyadicInterval { prefix: 0, level: 64 };
+        let di = DyadicInterval {
+            prefix: 0,
+            level: 64,
+        };
         assert_eq!(di.start(), 0);
         assert_eq!(di.end(), u64::MAX);
         assert!(di.contains(u64::MAX));
@@ -286,7 +342,11 @@ mod tests {
         // Disjoint, sorted, covering exactly [lo, hi].
         let mut cursor = lo;
         for di in &parts {
-            assert_eq!(di.start(), cursor, "gap or overlap at {cursor} in {parts:?}");
+            assert_eq!(
+                di.start(),
+                cursor,
+                "gap or overlap at {cursor} in {parts:?}"
+            );
             assert!(di.end() <= hi);
             cursor = di.end().wrapping_add(1);
         }
@@ -302,7 +362,10 @@ mod tests {
         // Fig. 7: [45, 60] = [45,45] ∪ [46,47] ∪ [48,55] ∪ [56,59] ∪ [60,60]
         let parts = canonical_decomposition(45, 60, 16);
         let spans: Vec<(u64, u64)> = parts.iter().map(|p| (p.start(), p.end())).collect();
-        assert_eq!(spans, vec![(45, 45), (46, 47), (48, 55), (56, 59), (60, 60)]);
+        assert_eq!(
+            spans,
+            vec![(45, 45), (46, 47), (48, 55), (56, 59), (60, 60)]
+        );
     }
 
     #[test]
@@ -331,7 +394,10 @@ mod tests {
             })
             .collect();
         for want in [(48, 55), (56, 59), (46, 47), (45, 45), (60, 60)] {
-            assert!(decos.contains(&want), "missing decomposition interval {want:?} in {decos:?}");
+            assert!(
+                decos.contains(&want),
+                "missing decomposition interval {want:?} in {decos:?}"
+            );
         }
         let covers: Vec<(u64, u64)> = steps
             .iter()
@@ -340,8 +406,20 @@ mod tests {
                 _ => None,
             })
             .collect();
-        for want in [(32, 47), (48, 63), (40, 47), (44, 47), (44, 45), (56, 63), (60, 63), (60, 61)] {
-            assert!(covers.contains(&want), "missing covering {want:?} in {covers:?}");
+        for want in [
+            (32, 47),
+            (48, 63),
+            (40, 47),
+            (44, 47),
+            (44, 45),
+            (56, 63),
+            (60, 63),
+            (60, 61),
+        ] {
+            assert!(
+                covers.contains(&want),
+                "missing covering {want:?} in {covers:?}"
+            );
         }
     }
 

@@ -118,7 +118,10 @@ impl MultiAttrBloomRf {
     /// precision each attribute is reduced to.
     pub fn new(filter: BloomRf, precision_bits: u32) -> Self {
         assert!(precision_bits > 0 && precision_bits * 2 <= 64);
-        Self { filter, precision_bits }
+        Self {
+            filter,
+            precision_bits,
+        }
     }
 
     /// The underlying filter.
@@ -138,7 +141,13 @@ impl MultiAttrBloomRf {
     }
 
     /// Probe `eq_attr = eq_value AND other ∈ [range_lo, range_hi]`.
-    pub fn may_match(&self, eq_attr: EqAttribute, eq_value: u64, range_lo: u64, range_hi: u64) -> bool {
+    pub fn may_match(
+        &self,
+        eq_attr: EqAttribute,
+        eq_value: u64,
+        range_lo: u64,
+        range_hi: u64,
+    ) -> bool {
         if range_lo > range_hi {
             return false;
         }
@@ -148,9 +157,10 @@ impl MultiAttrBloomRf {
         let hi_reduced = reduce_precision(range_hi, p);
         let (lo_key, hi_key) = match eq_attr {
             // <A,B> has A in the high half; <B,A> has B in the high half.
-            EqAttribute::A | EqAttribute::B => {
-                ((eq_reduced << p) | lo_reduced, (eq_reduced << p) | hi_reduced)
-            }
+            EqAttribute::A | EqAttribute::B => (
+                (eq_reduced << p) | lo_reduced,
+                (eq_reduced << p) | hi_reduced,
+            ),
         };
         self.filter.contains_range(lo_key, hi_key)
     }

@@ -13,7 +13,11 @@ pub enum ConfigError {
     /// The bottom layer must sit at level 0.
     BottomLayerNotAtLevelZero(u32),
     /// Layers must be contiguous: `level[i+1] == level[i] + gap[i]`.
-    NonContiguousLayers { layer: usize, expected_level: u32, found_level: u32 },
+    NonContiguousLayers {
+        layer: usize,
+        expected_level: u32,
+        found_level: u32,
+    },
     /// A layer gap must be in 1..=7 (word sizes of 1..=64 bits).
     InvalidGap { layer: usize, gap: u32 },
     /// A layer must have at least one hash function (replica).
@@ -23,9 +27,16 @@ pub enum ConfigError {
     /// A segment must hold at least one 64-bit word.
     SegmentTooSmall { segment: usize, bits: usize },
     /// The exact level must lie above the top probabilistic layer and within the domain.
-    InvalidExactLevel { exact_level: u32, top_boundary: u32, domain_bits: u32 },
+    InvalidExactLevel {
+        exact_level: u32,
+        top_boundary: u32,
+        domain_bits: u32,
+    },
     /// The memory budget is too small to build the requested filter.
-    BudgetTooSmall { requested_bits: usize, minimum_bits: usize },
+    BudgetTooSmall {
+        requested_bits: usize,
+        minimum_bits: usize,
+    },
     /// A key lies outside the configured domain.
     KeyOutOfDomain { key: u64, domain_bits: u32 },
 }
@@ -84,19 +95,51 @@ mod tests {
             (ConfigError::NoLayers, "at least one layer"),
             (ConfigError::BottomLayerNotAtLevelZero(3), "level 0"),
             (
-                ConfigError::NonContiguousLayers { layer: 2, expected_level: 14, found_level: 12 },
+                ConfigError::NonContiguousLayers {
+                    layer: 2,
+                    expected_level: 14,
+                    found_level: 12,
+                },
                 "layer 2",
             ),
             (ConfigError::InvalidGap { layer: 1, gap: 9 }, "gap 9"),
             (ConfigError::InvalidReplicas { layer: 0 }, "layer 0"),
-            (ConfigError::SegmentOutOfRange { layer: 4, segment: 7 }, "segment 7"),
-            (ConfigError::SegmentTooSmall { segment: 1, bits: 8 }, "segment 1"),
             (
-                ConfigError::InvalidExactLevel { exact_level: 3, top_boundary: 10, domain_bits: 64 },
+                ConfigError::SegmentOutOfRange {
+                    layer: 4,
+                    segment: 7,
+                },
+                "segment 7",
+            ),
+            (
+                ConfigError::SegmentTooSmall {
+                    segment: 1,
+                    bits: 8,
+                },
+                "segment 1",
+            ),
+            (
+                ConfigError::InvalidExactLevel {
+                    exact_level: 3,
+                    top_boundary: 10,
+                    domain_bits: 64,
+                },
                 "exact level 3",
             ),
-            (ConfigError::BudgetTooSmall { requested_bits: 10, minimum_bits: 64 }, "64 bits"),
-            (ConfigError::KeyOutOfDomain { key: 300, domain_bits: 8 }, "key 300"),
+            (
+                ConfigError::BudgetTooSmall {
+                    requested_bits: 10,
+                    minimum_bits: 64,
+                },
+                "64 bits",
+            ),
+            (
+                ConfigError::KeyOutOfDomain {
+                    key: 300,
+                    domain_bits: 8,
+                },
+                "key 300",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -61,8 +61,11 @@ impl BloomRf {
     /// Build an empty filter from a validated configuration.
     pub fn new(config: BloomRfConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let segments: Vec<AtomicBits> =
-            config.segment_bits.iter().map(|&bits| AtomicBits::new(bits)).collect();
+        let segments: Vec<AtomicBits> = config
+            .segment_bits
+            .iter()
+            .map(|&bits| AtomicBits::new(bits))
+            .collect();
         let exact = config.exact_level.map(|e| {
             let bits = 1usize << (config.domain_bits - e).min(63);
             AtomicBits::new(bits)
@@ -89,12 +92,28 @@ impl BloomRf {
                 hashers,
             });
         }
-        Ok(Self { config, layers, segments, exact, key_count: AtomicU64::new(0) })
+        Ok(Self {
+            config,
+            layers,
+            segments,
+            exact,
+            key_count: AtomicU64::new(0),
+        })
     }
 
     /// Convenience constructor for the basic, tuning-free filter (Sect. 3).
-    pub fn basic(domain_bits: u32, n_keys: usize, bits_per_key: f64, delta: u32) -> Result<Self, ConfigError> {
-        Self::new(BloomRfConfig::basic(domain_bits, n_keys, bits_per_key, delta)?)
+    pub fn basic(
+        domain_bits: u32,
+        n_keys: usize,
+        bits_per_key: f64,
+        delta: u32,
+    ) -> Result<Self, ConfigError> {
+        Self::new(BloomRfConfig::basic(
+            domain_bits,
+            n_keys,
+            bits_per_key,
+            delta,
+        )?)
     }
 
     /// The configuration this filter was built from.
@@ -109,7 +128,10 @@ impl BloomRf {
 
     /// Total memory used by the filter payload, in bits.
     pub fn memory_bits(&self) -> usize {
-        self.segments.iter().map(|s| s.capacity_bits()).sum::<usize>()
+        self.segments
+            .iter()
+            .map(|s| s.capacity_bits())
+            .sum::<usize>()
             + self.exact.as_ref().map(|e| e.capacity_bits()).unwrap_or(0)
     }
 
@@ -185,7 +207,9 @@ impl BloomRf {
 
         let budget = match self.config.range_policy {
             RangePolicy::Exact => usize::MAX,
-            RangePolicy::Conservative { max_words_per_layer } => max_words_per_layer,
+            RangePolicy::Conservative {
+                max_words_per_layer,
+            } => max_words_per_layer,
         };
 
         // Path state: while `merged`, a single covering DI contains the whole
@@ -261,7 +285,11 @@ impl BloomRf {
                     }
                 } else {
                     // The two paths split at this layer.
-                    let run_lo = if di_start(lp, level) == lo { lp } else { lp + 1 };
+                    let run_lo = if di_start(lp, level) == lo {
+                        lp
+                    } else {
+                        lp + 1
+                    };
                     let run_hi = if di_end(rp, level) == hi { rp } else { rp - 1 };
                     if run_lo <= run_hi {
                         match self.layer_run_any(layer, run_lo, run_hi, budget, &mut stats) {
@@ -289,7 +317,11 @@ impl BloomRf {
                 if left_alive {
                     let span = parent_level - level;
                     let parent_last = shl(shr(lo, parent_level) + 1, span).wrapping_sub(1);
-                    let run_lo = if di_start(lp, level) == lo { lp } else { lp + 1 };
+                    let run_lo = if di_start(lp, level) == lo {
+                        lp
+                    } else {
+                        lp + 1
+                    };
                     if run_lo <= parent_last {
                         match self.layer_run_any(layer, run_lo, parent_last, budget, &mut stats) {
                             RunOutcome::Found => return (true, stats),
@@ -335,7 +367,10 @@ impl BloomRf {
     #[inline]
     fn layer_bit_set(&self, layer: &LayerRuntime, key: u64) -> bool {
         let seg = &self.segments[layer.segment];
-        layer.hashers.iter().all(|h| seg.get(h.bit_position(key, layer.word_count) as usize))
+        layer
+            .hashers
+            .iter()
+            .all(|h| seg.get(h.bit_position(key, layer.word_count) as usize))
     }
 
     /// Probe every level-`layer.level` prefix in `[run_lo, run_hi]`: is there a
@@ -367,7 +402,11 @@ impl BloomRf {
             let ref_hash = &layer.hashers[0];
             let o_lo = ref_hash.apply_layout(group, g_lo & (wb - 1));
             let o_hi = ref_hash.apply_layout(group, g_hi & (wb - 1));
-            let (m_lo, m_hi) = if o_lo <= o_hi { (o_lo, o_hi) } else { (o_hi, o_lo) };
+            let (m_lo, m_hi) = if o_lo <= o_hi {
+                (o_lo, o_hi)
+            } else {
+                (o_hi, o_lo)
+            };
             let mask = mask_between(m_lo as usize, m_hi as usize);
             let mut combined = u64::MAX;
             for h in &layer.hashers {
@@ -470,7 +509,11 @@ impl BloomRf {
             segment_bits.push(u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?) as usize);
         }
         let exact_level_raw = i64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
-        let exact_level = if exact_level_raw < 0 { None } else { Some(exact_level_raw as u32) };
+        let exact_level = if exact_level_raw < 0 {
+            None
+        } else {
+            Some(exact_level_raw as u32)
+        };
         let hash_seed = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
         let key_count = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
         let config =
@@ -563,7 +606,9 @@ mod tests {
 
     #[test]
     fn no_false_negatives_for_points() {
-        let keys: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) >> 1).collect();
+        let keys: Vec<u64> = (0..5000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) >> 1)
+            .collect();
         let f = basic_filter(&keys, 64, 12.0, 7);
         for &k in &keys {
             assert!(f.contains_point(k), "false negative for {k}");
@@ -610,7 +655,10 @@ mod tests {
                 false_positives += 1;
             }
         }
-        assert!(total > 3000, "workload generation produced too few empty ranges");
+        assert!(
+            total > 3000,
+            "workload generation produced too few empty ranges"
+        );
         let fpr = false_positives as f64 / total as f64;
         assert!(fpr < 0.05, "range FPR too high: {fpr}");
     }
@@ -625,7 +673,9 @@ mod tests {
         // must not make things worse and typically helps.
         let keys: Vec<u64> = (0..1000u64).map(|i| i << 32).collect();
         let measure = |layout: crate::hashing::WordLayout| {
-            let cfg = BloomRfConfig::basic(64, keys.len(), 18.0, 7).unwrap().with_word_layout(layout);
+            let cfg = BloomRfConfig::basic(64, keys.len(), 18.0, 7)
+                .unwrap()
+                .with_word_layout(layout);
             let f = BloomRf::new(cfg).unwrap();
             for &k in &keys {
                 f.insert(k);
@@ -641,14 +691,20 @@ mod tests {
         };
         let forward = measure(crate::hashing::WordLayout::Forward);
         let alternating = measure(crate::hashing::WordLayout::Alternating);
-        assert!(forward > 500, "the degenerate pattern should hurt the forward layout");
-        assert!(alternating <= forward, "alternating layout must not be worse");
+        assert!(
+            forward > 500,
+            "the degenerate pattern should hurt the forward layout"
+        );
+        assert!(
+            alternating <= forward,
+            "alternating layout must not be worse"
+        );
     }
 
     #[test]
     fn point_fpr_is_reasonable() {
         let n = 20_000u64;
-        let mut keys: Vec<u64> = (0..n).map(|i| crate::hashing::mix64(i)).collect();
+        let mut keys: Vec<u64> = (0..n).map(crate::hashing::mix64).collect();
         keys.sort_unstable();
         let f = basic_filter(&keys, 64, 12.0, 7);
         let mut fp = 0;
@@ -676,7 +732,10 @@ mod tests {
     fn degenerate_interval_and_reversed_bounds() {
         let f = basic_filter(&[100, 200, 300], 64, 16.0, 7);
         assert!(f.contains_range(100, 100));
-        assert!(!f.contains_range(400, 300), "reversed bounds are an empty interval");
+        assert!(
+            !f.contains_range(400, 300),
+            "reversed bounds are an empty interval"
+        );
         assert!(f.contains_range(0, 99) == f.contains_range(0, 99)); // deterministic
     }
 
@@ -715,7 +774,7 @@ mod tests {
     fn range_lookup_cost_is_bounded_by_layers() {
         // Constant query complexity: word accesses are bounded by ~4 per layer
         // plus replica factor, independent of the range size.
-        let keys: Vec<u64> = (0..50_000u64).map(|i| crate::hashing::mix64(i)).collect();
+        let keys: Vec<u64> = (0..50_000u64).map(crate::hashing::mix64).collect();
         let f = basic_filter(&keys, 64, 14.0, 7);
         let k = f.config().num_layers();
         for exp in [4u32, 10, 20, 30, 40, 50] {
@@ -736,7 +795,9 @@ mod tests {
         let keys: Vec<u64> = (0..10_000u64).map(|i| i * 7919).collect();
         let cfg = BloomRfConfig::basic(64, keys.len(), 12.0, 7)
             .unwrap()
-            .with_range_policy(RangePolicy::Conservative { max_words_per_layer: 2 });
+            .with_range_policy(RangePolicy::Conservative {
+                max_words_per_layer: 2,
+            });
         let f = BloomRf::new(cfg).unwrap();
         for &k in &keys {
             f.insert(k);
@@ -760,7 +821,9 @@ mod tests {
         ];
         let cfg = BloomRfConfig::new(48, layers, vec![1 << 16, 1 << 18], Some(32), 77).unwrap();
         let f = BloomRf::new(cfg).unwrap();
-        let keys: Vec<u64> = (0..20_000u64).map(|i| crate::hashing::mix64(i) >> 16).collect();
+        let keys: Vec<u64> = (0..20_000u64)
+            .map(|i| crate::hashing::mix64(i) >> 16)
+            .collect();
         for &k in &keys {
             f.insert(k);
         }
@@ -775,7 +838,10 @@ mod tests {
         let free_prefix = (0u64..).find(|p| !occupied.contains(p)).unwrap();
         let lo = free_prefix << 32;
         let hi = lo | 0xFFFF_FFFF;
-        assert!(!f.contains_range(lo, hi), "exact layer must reject an empty level-32 interval");
+        assert!(
+            !f.contains_range(lo, hi),
+            "exact layer must reject an empty level-32 interval"
+        );
         assert!(!f.contains_point(lo + 12345));
     }
 
@@ -788,10 +854,18 @@ mod tests {
         assert_eq!(g.key_count(), f.key_count());
         for i in 0..2000u64 {
             let probe = i * 55441 + 7;
-            assert_eq!(f.contains_point(probe), g.contains_point(probe), "point {probe}");
+            assert_eq!(
+                f.contains_point(probe),
+                g.contains_point(probe),
+                "point {probe}"
+            );
             let lo = probe;
             let hi = probe + 100_000;
-            assert_eq!(f.contains_range(lo, hi), g.contains_range(lo, hi), "range {probe}");
+            assert_eq!(
+                f.contains_range(lo, hi),
+                g.contains_range(lo, hi),
+                "range {probe}"
+            );
         }
         // Corrupted input is rejected, not mis-parsed.
         assert!(BloomRf::from_bytes(&bytes[..bytes.len() / 2]).is_none());
@@ -835,8 +909,14 @@ mod tests {
         let f = BloomRf::basic(16, 100, 10.0, 4).unwrap();
         f.insert(65535);
         assert!(f.contains_point(65535));
-        assert!(!f.contains_point(65536), "key beyond the domain is never present");
-        assert!(f.contains_range(60_000, 1 << 20), "range is clamped to the domain");
+        assert!(
+            !f.contains_point(65536),
+            "key beyond the domain is never present"
+        );
+        assert!(
+            f.contains_range(60_000, 1 << 20),
+            "range is clamped to the domain"
+        );
         let caught = std::panic::catch_unwind(|| f.insert(1 << 16));
         assert!(caught.is_err(), "inserting an out-of-domain key must panic");
     }

@@ -132,13 +132,26 @@ pub struct Pmhf {
 impl Pmhf {
     /// Construct a PMHF with the production mixer.
     pub fn new(level: u32, offset_bits: u32, seed: u64) -> Self {
-        debug_assert!(offset_bits <= 6, "word sizes above 64 bits are not supported");
-        Self { level, offset_bits, hash: HashKind::Mix { seed }, layout: WordLayout::Forward }
+        debug_assert!(
+            offset_bits <= 6,
+            "word sizes above 64 bits are not supported"
+        );
+        Self {
+            level,
+            offset_bits,
+            hash: HashKind::Mix { seed },
+            layout: WordLayout::Forward,
+        }
     }
 
     /// Construct a PMHF with the paper's affine example hash.
     pub fn with_affine(level: u32, offset_bits: u32, a: u64, b: u64) -> Self {
-        Self { level, offset_bits, hash: HashKind::Affine { a, b }, layout: WordLayout::Forward }
+        Self {
+            level,
+            offset_bits,
+            hash: HashKind::Affine { a, b },
+            layout: WordLayout::Forward,
+        }
     }
 
     /// Size of this layer's words in bits.
@@ -286,7 +299,11 @@ mod tests {
         let w0 = pm.word_index(base, word_count);
         for off in 0..64u64 {
             let key = base + off;
-            assert_eq!(pm.word_index(key, word_count), w0, "same word for offset {off}");
+            assert_eq!(
+                pm.word_index(key, word_count),
+                w0,
+                "same word for offset {off}"
+            );
             assert_eq!(pm.bit_position(key, word_count), w0 * 64 + off);
         }
         // The next sibling group lands (almost surely) elsewhere but still in order.
@@ -334,7 +351,10 @@ mod tests {
             total += (mix64(x) ^ mix64(flipped)).count_ones();
         }
         let avg = total as f64 / samples as f64;
-        assert!((20.0..44.0).contains(&avg), "average flipped bits {avg} not avalanche-like");
+        assert!(
+            (20.0..44.0).contains(&avg),
+            "average flipped bits {avg} not avalanche-like"
+        );
     }
 
     #[test]
@@ -368,7 +388,9 @@ mod tests {
         // of the same word (forward or reversed — still a single word access).
         let base = 0x5150u64 & !0x7;
         let word = pm.word_start(base, word_count);
-        let mut seen: Vec<u64> = (0..8).map(|o| pm.bit_position(base + o, word_count)).collect();
+        let mut seen: Vec<u64> = (0..8)
+            .map(|o| pm.bit_position(base + o, word_count))
+            .collect();
         seen.sort_unstable();
         let expect: Vec<u64> = (0..8).map(|o| word + o).collect();
         assert_eq!(seen, expect);

@@ -47,7 +47,10 @@ pub fn basic_range_fpr(k: u32, delta: u32, n_keys: f64, m_bits: f64, range: f64)
 /// Number of layers of basic bloomRF: `k = ceil((d - log2 n) / Δ)`.
 pub fn basic_layer_count(domain_bits: u32, n_keys: usize, delta: u32) -> u32 {
     let log2n = (usize::BITS - n_keys.max(1).leading_zeros()).saturating_sub(1);
-    (domain_bits.saturating_sub(log2n)).max(delta).div_ceil(delta).max(1)
+    (domain_bits.saturating_sub(log2n))
+        .max(delta)
+        .div_ceil(delta)
+        .max(1)
 }
 
 /// Bits/key basic bloomRF needs for a target range FPR `epsilon` at maximum
@@ -81,7 +84,12 @@ pub fn point_lower_bound_bits_per_key(epsilon: f64) -> f64 {
 /// Goswami et al. family of lower bounds for range filters with range size `R`
 /// and domain `2^d`, maximized over the free parameter `γ > 1`:
 /// `m/n >= log2(R^{1-γε}/ε) + log2( (1 - 4nR/2^d)·(1 - 1/γ)·e )`.
-pub fn range_lower_bound_bits_per_key(epsilon: f64, range: f64, n_keys: f64, domain_bits: u32) -> f64 {
+pub fn range_lower_bound_bits_per_key(
+    epsilon: f64,
+    range: f64,
+    n_keys: f64,
+    domain_bits: u32,
+) -> f64 {
     let domain = (domain_bits as f64).exp2();
     let density = (1.0 - 4.0 * n_keys * range / domain).max(f64::MIN_POSITIVE);
     let mut best = 0.0f64;
@@ -220,15 +228,13 @@ pub fn evaluate_config(config: &BloomRfConfig, n_keys: usize, c: f64) -> FprProf
             let span = parent_level - level;
             let expand = (span as f64).exp2();
             let parent = parent_level as usize;
-            let potential =
-                (expand * (fp[parent] + tp[parent]) - tp[level as usize]).max(0.0);
+            let potential = (expand * (fp[parent] + tp[parent]) - tp[level as usize]).max(0.0);
             // Bits probed per hash function for a DI on this level: it spans
             // 2^(level - ℓ_i) sibling prefixes of layer i, probed via one mask.
             let bits = ((level - layer.level) as f64).exp2();
             let p_probe_true = (1.0 - p_zero.powf(bits)).powi(layer.replicas as i32);
             fp[level as usize] = p_probe_true * potential;
-            tn[level as usize] =
-                expand * tn[parent] + (1.0 - p_probe_true) * potential;
+            tn[level as usize] = expand * tn[parent] + (1.0 - p_probe_true) * potential;
         }
     }
 
@@ -307,7 +313,10 @@ mod tests {
         assert!((point - 6.64).abs() < 0.05);
         let range16 = range_lower_bound_bits_per_key(0.01, 16.0, 1e6, 64);
         let range64 = range_lower_bound_bits_per_key(0.01, 64.0, 1e6, 64);
-        assert!(range16 >= point, "range bound must dominate the point bound");
+        assert!(
+            range16 >= point,
+            "range bound must dominate the point bound"
+        );
         assert!(range64 > range16, "larger ranges need more space");
         // Rosetta sits above the lower bound by a near-constant factor.
         assert!(rosetta_first_cut_bits_per_key(0.01, 64.0) > range64);
@@ -318,7 +327,10 @@ mod tests {
         for &(bpk, range) in &[(17.0, 64.0), (22.0, 1024.0), (28.0, 16384.0)] {
             let eps = rosetta_first_cut_fpr(bpk, range);
             let back = rosetta_first_cut_bits_per_key(eps, range);
-            assert!((back - bpk).abs() < 1e-6, "bpk {bpk} range {range}: got {back}");
+            assert!(
+                (back - bpk).abs() < 1e-6,
+                "bpk {bpk} range {range}: got {back}"
+            );
         }
     }
 
@@ -345,7 +357,11 @@ mod tests {
         assert!((p - 0.687).abs() < 0.02, "p = {p}");
         let profile = evaluate_config(&cfg, 3, 1.0);
         assert!(profile.point < 0.05, "point FPR {}", profile.point);
-        assert!(profile.at_level(15) > 0.5, "level-15 FPR {}", profile.at_level(15));
+        assert!(
+            profile.at_level(15) > 0.5,
+            "level-15 FPR {}",
+            profile.at_level(15)
+        );
         // FPR decreases monotonically (roughly) towards the bottom levels.
         assert!(profile.at_level(2) < profile.at_level(12));
     }
@@ -362,8 +378,15 @@ mod tests {
         ];
         let cfg = BloomRfConfig::new(48, layers, vec![1 << 16, 1 << 20], Some(32), 7).unwrap();
         let profile = evaluate_config(&cfg, 100_000, 1.0);
-        assert_eq!(profile.at_level(32), 0.0, "exact level has no false positives");
-        assert!(profile.at_level(33) > 0.0, "levels above the exact level saturate");
+        assert_eq!(
+            profile.at_level(32),
+            0.0,
+            "exact level has no false positives"
+        );
+        assert!(
+            profile.at_level(33) > 0.0,
+            "levels above the exact level saturate"
+        );
         assert!(profile.point < 0.2);
         assert!(profile.max_up_to_range(1e6) <= 1.0);
     }

@@ -26,7 +26,11 @@ impl RankSelectBitVec {
             acc += w.count_ones();
         }
         rank_dir.push(acc);
-        Self { bits, rank_dir, total_ones: acc as usize }
+        Self {
+            bits,
+            rank_dir,
+            total_ones: acc as usize,
+        }
     }
 
     /// Number of bits.
@@ -60,7 +64,11 @@ impl RankSelectBitVec {
         if rem == 0 {
             base
         } else {
-            let mask = if rem == 64 { u64::MAX } else { (1u64 << rem) - 1 };
+            let mask = if rem == 64 {
+                u64::MAX
+            } else {
+                (1u64 << rem) - 1
+            };
             base + (self.bits.words()[word] & mask).count_ones() as usize
         }
     }
@@ -73,7 +81,11 @@ impl RankSelectBitVec {
 
     /// Position of the `k`-th one (0-indexed). Panics if `k >= count_ones()`.
     pub fn select1(&self, k: usize) -> usize {
-        assert!(k < self.total_ones, "select1({k}) out of range ({} ones)", self.total_ones);
+        assert!(
+            k < self.total_ones,
+            "select1({k}) out of range ({} ones)",
+            self.total_ones
+        );
         // Binary search the word whose cumulative rank covers k.
         let mut lo = 0usize;
         let mut hi = self.rank_dir.len() - 1;

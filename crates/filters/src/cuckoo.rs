@@ -69,7 +69,11 @@ impl CuckooFilter {
     }
 
     fn fingerprint(&self, key: u64) -> u32 {
-        let mask = if self.fingerprint_bits == 32 { u32::MAX } else { (1u32 << self.fingerprint_bits) - 1 };
+        let mask = if self.fingerprint_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.fingerprint_bits) - 1
+        };
         let fp = (mix64(key ^ 0xF1_F2_F3_F4) as u32) & mask;
         if fp == 0 {
             1
@@ -116,7 +120,11 @@ impl CuckooFilter {
             return true;
         }
         // Cuckoo eviction.
-        let mut bucket = if mix64(key ^ self.kick_state) & 1 == 0 { b1 } else { b2 };
+        let mut bucket = if mix64(key ^ self.kick_state) & 1 == 0 {
+            b1
+        } else {
+            b2
+        };
         let mut fp = fp;
         for _ in 0..MAX_KICKS {
             self.kick_state = mix64(self.kick_state.wrapping_add(fp as u64));
@@ -253,6 +261,9 @@ mod tests {
     fn fingerprint_bits_track_budget() {
         assert!(CuckooFilter::with_bits_per_key(100, 12.0).fingerprint_bits() >= 10);
         assert!(CuckooFilter::with_bits_per_key(100, 8.0).fingerprint_bits() <= 8);
-        assert_eq!(CuckooFilter::with_bits_per_key(100, 1.0).fingerprint_bits(), 2);
+        assert_eq!(
+            CuckooFilter::with_bits_per_key(100, 1.0).fingerprint_bits(),
+            2
+        );
     }
 }

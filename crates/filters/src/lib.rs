@@ -105,13 +105,14 @@ impl FilterKind {
     pub fn build(&self, keys: &[u64], bits_per_key: f64) -> Box<dyn PointRangeFilter> {
         match *self {
             FilterKind::BloomRf { max_range } => {
-                let filter = match TuningAdvisor::tune_for(64, keys.len().max(1), bits_per_key, max_range)
-                    .and_then(|t| BloomRf::new(t.config))
-                {
-                    Ok(f) => f,
-                    Err(_) => BloomRf::basic(64, keys.len().max(1), bits_per_key, 7)
-                        .expect("basic bloomRF construction cannot fail for valid budgets"),
-                };
+                let filter =
+                    match TuningAdvisor::tune_for(64, keys.len().max(1), bits_per_key, max_range)
+                        .and_then(|t| BloomRf::new(t.config))
+                    {
+                        Ok(f) => f,
+                        Err(_) => BloomRf::basic(64, keys.len().max(1), bits_per_key, 7)
+                            .expect("basic bloomRF construction cannot fail for valid budgets"),
+                    };
                 for &k in keys {
                     filter.insert(k);
                 }
@@ -126,11 +127,18 @@ impl FilterKind {
                 Box::new(filter)
             }
             FilterKind::Rosetta { max_range } => Box::new(
-                RosettaBuilder { max_range, variant: RosettaVariant::FirstCut }
-                    .build(keys, bits_per_key),
+                RosettaBuilder {
+                    max_range,
+                    variant: RosettaVariant::FirstCut,
+                }
+                .build(keys, bits_per_key),
             ),
-            FilterKind::Surf => Box::new(SurfBuilder { hash_suffix: false }.build(keys, bits_per_key)),
-            FilterKind::SurfHash => Box::new(SurfBuilder { hash_suffix: true }.build(keys, bits_per_key)),
+            FilterKind::Surf => {
+                Box::new(SurfBuilder { hash_suffix: false }.build(keys, bits_per_key))
+            }
+            FilterKind::SurfHash => {
+                Box::new(SurfBuilder { hash_suffix: true }.build(keys, bits_per_key))
+            }
             FilterKind::Bloom => Box::new(BloomFilterBuilder.build(keys, bits_per_key)),
             FilterKind::PrefixBloom { prefix_shift } => {
                 Box::new(PrefixBloomBuilder { prefix_shift }.build(keys, bits_per_key))
@@ -144,7 +152,9 @@ impl FilterKind {
     /// maximum range.
     pub fn point_range_filters(max_range: u64) -> Vec<FilterKind> {
         vec![
-            FilterKind::BloomRf { max_range: max_range as f64 },
+            FilterKind::BloomRf {
+                max_range: max_range as f64,
+            },
             FilterKind::Rosetta { max_range },
             FilterKind::Surf,
         ]

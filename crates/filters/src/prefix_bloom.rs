@@ -27,7 +27,11 @@ impl PrefixBloomFilter {
         assert!(prefix_shift < 64);
         // Keys and prefixes are both inserted → 2 entries per key.
         let inner = BloomFilter::with_bits_per_key(n_keys.max(1) * 2, bits_per_key / 2.0);
-        Self { inner, prefix_shift, max_probes: 64 }
+        Self {
+            inner,
+            prefix_shift,
+            max_probes: 64,
+        }
     }
 
     /// The configured prefix shift.
@@ -113,7 +117,9 @@ mod tests {
 
     #[test]
     fn point_and_prefix_queries() {
-        let keys: Vec<u64> = (0..5000u64).map(|i| (i << 20) | (mix64(i) & 0xFFFFF)).collect();
+        let keys: Vec<u64> = (0..5000u64)
+            .map(|i| (i << 20) | (mix64(i) & 0xFFFFF))
+            .collect();
         let mut f = PrefixBloomFilter::new(keys.len(), 14.0, 20);
         for &k in &keys {
             f.insert_key(k);
@@ -137,7 +143,10 @@ mod tests {
                 fp += 1;
             }
         }
-        assert!((fp as f64) < 2000.0 * 0.15, "prefix FPR too high: {fp}/2000");
+        assert!(
+            (fp as f64) < 2000.0 * 0.15,
+            "prefix FPR too high: {fp}/2000"
+        );
     }
 
     #[test]

@@ -81,9 +81,12 @@ impl RosettaFilter {
             RosettaVariant::BottomHeavy => {
                 // Geometric decay: level ℓ gets weight 0.5^ℓ (normalized), with
                 // a floor of 1 bit/key per level.
-                let mut weights: Vec<f64> = (0..num_levels).map(|l| 0.5f64.powi(l as i32)).collect();
+                let mut weights: Vec<f64> =
+                    (0..num_levels).map(|l| 0.5f64.powi(l as i32)).collect();
                 let sum: f64 = weights.iter().sum();
-                weights.iter_mut().for_each(|w| *w = (*w / sum) * total_bits);
+                weights
+                    .iter_mut()
+                    .for_each(|w| *w = (*w / sum) * total_bits);
                 weights.iter_mut().for_each(|w| *w = w.max(n));
                 weights
             }
@@ -103,7 +106,11 @@ impl RosettaFilter {
                 BloomFilter::new(bits as usize, k)
             })
             .collect();
-        Self { levels, max_level, domain_bits }
+        Self {
+            levels,
+            max_level,
+            domain_bits,
+        }
     }
 
     /// Highest dyadic level maintained.
@@ -135,7 +142,13 @@ impl RosettaFilter {
             }
             let base = di.prefix << span;
             return (0..children).any(|c| {
-                self.doubt(DyadicInterval { prefix: base + c, level: self.max_level }, probes)
+                self.doubt(
+                    DyadicInterval {
+                        prefix: base + c,
+                        level: self.max_level,
+                    },
+                    probes,
+                )
             });
         }
         if !self.levels[di.level as usize].contains(di.prefix) {
@@ -163,7 +176,11 @@ impl PointRangeFilter for RosettaFilter {
         if lo == hi {
             return self.may_contain(lo);
         }
-        let hi = if self.domain_bits >= 64 { hi } else { hi.min((1u64 << self.domain_bits) - 1) };
+        let hi = if self.domain_bits >= 64 {
+            hi
+        } else {
+            hi.min((1u64 << self.domain_bits) - 1)
+        };
         if lo > hi {
             return false;
         }
@@ -194,7 +211,10 @@ pub struct RosettaBuilder {
 
 impl Default for RosettaBuilder {
     fn default() -> Self {
-        Self { max_range: 1 << 14, variant: RosettaVariant::FirstCut }
+        Self {
+            max_range: 1 << 14,
+            variant: RosettaVariant::FirstCut,
+        }
     }
 }
 
@@ -288,7 +308,11 @@ mod tests {
             }
         }
         // The bottom filter holds most of the budget → very low point FPR.
-        assert!((fp as f64 / trials as f64) < 0.02, "point FPR {}", fp as f64 / trials as f64);
+        assert!(
+            (fp as f64 / trials as f64) < 0.02,
+            "point FPR {}",
+            fp as f64 / trials as f64
+        );
     }
 
     #[test]
@@ -319,8 +343,11 @@ mod tests {
     #[test]
     fn memory_respects_budget_roughly() {
         let keys: Vec<u64> = (0..10_000u64).map(mix64).collect();
-        let f = RosettaBuilder { max_range: 1 << 10, variant: RosettaVariant::FirstCut }
-            .build(&keys, 20.0);
+        let f = RosettaBuilder {
+            max_range: 1 << 10,
+            variant: RosettaVariant::FirstCut,
+        }
+        .build(&keys, 20.0);
         let bpk = f.bits_per_key(keys.len());
         assert!(bpk < 24.0, "bits/key {bpk} exceeds budget by too much");
         assert!(bpk > 10.0, "bits/key {bpk} suspiciously small");

@@ -130,7 +130,14 @@ impl SurfFilter {
             }
         }
 
-        Self { labels, has_child, louds, suffixes, mode, num_keys: n }
+        Self {
+            labels,
+            has_child,
+            louds,
+            suffixes,
+            mode,
+            num_keys: n,
+        }
     }
 
     /// Number of keys the filter was built from.
@@ -188,9 +195,8 @@ impl SurfFilter {
         }
         let bytes = key.to_be_bytes();
         let mut node_start = 0usize;
-        for depth in 0..8usize {
+        for (depth, &b) in bytes.iter().enumerate() {
             let node_end = self.node_end(node_start);
-            let b = bytes[depth];
             let mut found = None;
             for pos in node_start..node_end {
                 match self.labels[pos].cmp(&b) {
@@ -225,7 +231,14 @@ impl SurfFilter {
 
     /// Smallest `path_min` over leaves whose represented range ends at or after
     /// `lo` (the trie analogue of `lowerBound(lo)`).
-    fn seek_ge(&self, node_start: usize, depth: usize, prefix: u64, lo: &[u8; 8], tight: bool) -> Option<u64> {
+    fn seek_ge(
+        &self,
+        node_start: usize,
+        depth: usize,
+        prefix: u64,
+        lo: &[u8; 8],
+        tight: bool,
+    ) -> Option<u64> {
         let node_end = self.node_end(node_start);
         let want = if tight { lo[depth] } else { 0 };
         for pos in node_start..node_end {
@@ -237,7 +250,9 @@ impl SurfFilter {
             let path = prefix | ((b as u64) << (8 * (7 - depth)));
             if self.has_child.get(pos) {
                 if depth + 1 < 8 {
-                    if let Some(v) = self.seek_ge(self.child_start(pos), depth + 1, path, lo, now_tight) {
+                    if let Some(v) =
+                        self.seek_ge(self.child_start(pos), depth + 1, path, lo, now_tight)
+                    {
                         return Some(v);
                     }
                     // Subtree exhausted below lo; continue with the next label,
@@ -324,16 +339,10 @@ impl PointRangeFilter for SurfFilter {
 /// Builder that picks the suffix length from the bits/key budget: the
 /// LOUDS-Sparse base structure costs ~10 bits per label; whatever remains of
 /// the budget is spent on real (or hash) suffix bits, capped at 32.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SurfBuilder {
     /// Use hash suffixes instead of real key bits.
     pub hash_suffix: bool,
-}
-
-impl Default for SurfBuilder {
-    fn default() -> Self {
-        Self { hash_suffix: false }
-    }
 }
 
 impl FilterBuilder for SurfBuilder {
@@ -350,7 +359,11 @@ impl FilterBuilder for SurfBuilder {
         if spare == 0 {
             return base;
         }
-        let mode = if self.hash_suffix { SurfMode::Hash(spare) } else { SurfMode::Real(spare) };
+        let mode = if self.hash_suffix {
+            SurfMode::Hash(spare)
+        } else {
+            SurfMode::Real(spare)
+        };
         SurfFilter::build(keys, mode)
     }
 }
@@ -394,9 +407,15 @@ mod tests {
         let keys = vec![0x1111_0000_0000_0000u64, 0x2222_0000_0000_0000u64];
         let base = SurfFilter::build(&keys, SurfMode::Base);
         // The trie truncates after the first distinguishing byte (0x11 / 0x22).
-        assert!(base.contains(0x1111_2222_3333_4444), "same first byte → accepted by Base");
+        assert!(
+            base.contains(0x1111_2222_3333_4444),
+            "same first byte → accepted by Base"
+        );
         let real = SurfFilter::build(&keys, SurfMode::Real(16));
-        assert!(!real.contains(0x11FF_2222_3333_4444), "real suffix rejects differing bits");
+        assert!(
+            !real.contains(0x11FF_2222_3333_4444),
+            "real suffix rejects differing bits"
+        );
         assert!(real.contains(0x1111_0000_0000_0000));
         let hash = SurfFilter::build(&keys, SurfMode::Hash(16));
         assert!(!hash.contains(0x11FF_2222_3333_4444));
@@ -412,7 +431,10 @@ mod tests {
         assert!(f.contains_range((499u64 << 40) - 5, (499u64 << 40) + 5));
         assert!(f.contains_range(0, u64::MAX));
         // Range entirely before the first key / after the last key.
-        assert!(f.contains_range(0, 10), "0 is below the smallest key but range contains key 0? no");
+        assert!(
+            f.contains_range(0, 10),
+            "0 is below the smallest key but range contains key 0? no"
+        );
     }
 
     #[test]
@@ -451,8 +473,14 @@ mod tests {
         let base = probe(&SurfFilter::build(&keys, SurfMode::Base));
         let hash4 = probe(&SurfFilter::build(&keys, SurfMode::Hash(4)));
         let hash8 = probe(&SurfFilter::build(&keys, SurfMode::Hash(8)));
-        assert!(hash4 < base, "4-bit suffix must reduce FPs: {hash4} vs {base}");
-        assert!(hash8 < hash4, "8-bit suffix must reduce further: {hash8} vs {hash4}");
+        assert!(
+            hash4 < base,
+            "4-bit suffix must reduce FPs: {hash4} vs {base}"
+        );
+        assert!(
+            hash8 < hash4,
+            "8-bit suffix must reduce further: {hash8} vs {hash4}"
+        );
         assert!(hash8 as f64 / 20_000.0 < 0.02);
     }
 
@@ -465,7 +493,10 @@ mod tests {
         assert!(bpk > 6.0, "base bits/key {bpk} implausibly small");
         let real8 = SurfFilter::build(&keys, SurfMode::Real(8));
         let delta = (real8.memory_bits() - base.memory_bits()) as f64 / keys.len() as f64;
-        assert!((delta - 8.0).abs() < 1.0, "suffix adds ~8 bits/key, got {delta}");
+        assert!(
+            (delta - 8.0).abs() < 1.0,
+            "suffix adds ~8 bits/key, got {delta}"
+        );
     }
 
     #[test]
@@ -512,7 +543,10 @@ mod tests {
             let end = start + 2;
             let truth = (start..=end).any(|v| set.contains(&v));
             if truth {
-                assert!(f.contains_range(start, end), "false negative range [{start},{end}]");
+                assert!(
+                    f.contains_range(start, end),
+                    "false negative range [{start},{end}]"
+                );
             }
         }
     }

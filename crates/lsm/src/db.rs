@@ -48,12 +48,21 @@ pub struct Db {
 impl Db {
     /// Open an empty store.
     pub fn new(options: DbOptions) -> Self {
-        Self { options, memtable: MemTable::new(), ssts: RwLock::new(Vec::new()), stats: ReadStats::new() }
+        Self {
+            options,
+            memtable: MemTable::new(),
+            ssts: RwLock::new(Vec::new()),
+            stats: ReadStats::new(),
+        }
     }
 
     /// Open with default options but a specific filter family and budget.
     pub fn with_filter(filter_kind: FilterKind, bits_per_key: f64) -> Self {
-        Self::new(DbOptions { filter_kind, bits_per_key, ..Default::default() })
+        Self::new(DbOptions {
+            filter_kind,
+            bits_per_key,
+            ..Default::default()
+        })
     }
 
     /// Store a key-value pair; flushes the memtable when it reaches the
@@ -97,7 +106,8 @@ impl Db {
     /// Range scan over `[lo, hi]`, returning up to `limit` entries in key
     /// order (newest version wins for duplicate keys).
     pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
-        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> =
+            std::collections::BTreeMap::new();
         {
             let ssts = self.ssts.read();
             for sst in ssts.iter() {
@@ -120,7 +130,10 @@ impl Db {
         }
         let ssts = self.ssts.read();
         for sst in ssts.iter() {
-            if !sst.scan(lo, hi, 1, &self.options.io_model, &self.stats).is_empty() {
+            if !sst
+                .scan(lo, hi, 1, &self.options.io_model, &self.stats)
+                .is_empty()
+            {
                 return true;
             }
         }
@@ -134,7 +147,13 @@ impl Db {
 
     /// Total number of entries across memtable and SSTs.
     pub fn num_entries(&self) -> usize {
-        self.memtable.len() + self.ssts.read().iter().map(|s| s.num_entries()).sum::<usize>()
+        self.memtable.len()
+            + self
+                .ssts
+                .read()
+                .iter()
+                .map(|s| s.num_entries())
+                .sum::<usize>()
     }
 
     /// Total size of all filter blocks in bits.
@@ -201,9 +220,15 @@ mod tests {
         assert!(db.num_ssts() >= 2);
         assert!(db.memtable_len() > 0);
         let result = db.scan(100, 140, 100);
-        assert_eq!(result.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140]);
+        assert_eq!(
+            result.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140]
+        );
         let newest = db.scan(9900, 10_000, 100);
-        assert!(!newest.is_empty(), "entries still in the memtable must be visible");
+        assert!(
+            !newest.is_empty(),
+            "entries still in the memtable must be visible"
+        );
     }
 
     #[test]

@@ -32,7 +32,8 @@ impl MemTable {
             self.approximate_bytes
                 .fetch_sub(8 + old.len(), std::sync::atomic::Ordering::Relaxed);
         }
-        self.approximate_bytes.fetch_add(added, std::sync::atomic::Ordering::Relaxed);
+        self.approximate_bytes
+            .fetch_add(added, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Point lookup.
@@ -69,13 +70,15 @@ impl MemTable {
 
     /// Approximate payload size in bytes (keys + values).
     pub fn approximate_bytes(&self) -> usize {
-        self.approximate_bytes.load(std::sync::atomic::Ordering::Relaxed)
+        self.approximate_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Drain every entry in key order (used by flush).
     pub fn drain_sorted(&self) -> Vec<(u64, Vec<u8>)> {
         let mut map = self.entries.write();
-        self.approximate_bytes.store(0, std::sync::atomic::Ordering::Relaxed);
+        self.approximate_bytes
+            .store(0, std::sync::atomic::Ordering::Relaxed);
         std::mem::take(&mut *map).into_iter().collect()
     }
 }
@@ -121,7 +124,10 @@ mod tests {
             mt.put(k, vec![]);
         }
         let drained = mt.drain_sorted();
-        assert_eq!(drained.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            drained.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
         assert!(mt.is_empty());
         assert_eq!(mt.approximate_bytes(), 0);
     }

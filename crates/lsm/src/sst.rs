@@ -41,8 +41,14 @@ impl SsTable {
         filter_kind: FilterKind,
         bits_per_key: f64,
     ) -> Self {
-        assert!(!entries.is_empty(), "an SST must contain at least one entry");
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be sorted");
+        assert!(
+            !entries.is_empty(),
+            "an SST must contain at least one entry"
+        );
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted"
+        );
         let epb = entries_per_block.max(1);
 
         let mut blocks = Vec::new();
@@ -210,11 +216,18 @@ mod tests {
     use super::*;
 
     fn entries(n: u64, value_size: usize) -> Vec<(u64, Vec<u8>)> {
-        (0..n).map(|i| (i * 10, vec![(i % 251) as u8; value_size])).collect()
+        (0..n)
+            .map(|i| (i * 10, vec![(i % 251) as u8; value_size]))
+            .collect()
     }
 
     fn build(n: u64) -> SsTable {
-        SsTable::build(&entries(n, 32), 8, FilterKind::BloomRf { max_range: 1e6 }, 16.0)
+        SsTable::build(
+            &entries(n, 32),
+            8,
+            FilterKind::BloomRf { max_range: 1e6 },
+            16.0,
+        )
     }
 
     #[test]
@@ -242,12 +255,21 @@ mod tests {
         let io = IoModel::default();
         let stats = ReadStats::new();
         let result = sst.scan(100, 149, 100, &io, &stats);
-        assert_eq!(result.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![100, 110, 120, 130, 140]);
+        assert_eq!(
+            result.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![100, 110, 120, 130, 140]
+        );
         let limited = sst.scan(0, 10_000, 3, &io, &stats);
         assert_eq!(limited.len(), 3);
         assert!(sst.scan(10_001, 10_100, 10, &io, &stats).is_empty());
-        assert!(sst.scan(5, 9, 10, &io, &stats).is_empty(), "gap between keys");
-        assert!(sst.scan(100, 50, 10, &io, &stats).is_empty(), "reversed bounds");
+        assert!(
+            sst.scan(5, 9, 10, &io, &stats).is_empty(),
+            "gap between keys"
+        );
+        assert!(
+            sst.scan(100, 50, 10, &io, &stats).is_empty(),
+            "reversed bounds"
+        );
     }
 
     #[test]
@@ -295,7 +317,12 @@ mod tests {
             let sst = SsTable::build(&entries(200, 8), 16, kind, 14.0);
             let io = IoModel::default();
             let stats = ReadStats::new();
-            assert_eq!(sst.get(500, &io, &stats), Some(vec![(50 % 251) as u8; 8]), "{}", kind.label());
+            assert_eq!(
+                sst.get(500, &io, &stats),
+                Some(vec![50_u8; 8]),
+                "{}",
+                kind.label()
+            );
             assert!(sst.filter_bits() > 0);
             assert!(sst.filter_build_time() >= std::time::Duration::ZERO);
         }

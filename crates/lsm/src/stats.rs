@@ -88,8 +88,10 @@ impl ReadStats {
     /// Record `blocks` simulated block reads under the given model.
     pub fn record_block_reads(&self, blocks: u64, model: &IoModel) {
         self.blocks_read.fetch_add(blocks, Ordering::Relaxed);
-        self.io_wait_ns
-            .fetch_add(blocks * model.block_read_latency.as_nanos() as u64, Ordering::Relaxed);
+        self.io_wait_ns.fetch_add(
+            blocks * model.block_read_latency.as_nanos() as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Record residual CPU time.

@@ -34,7 +34,11 @@ pub fn kepler_like_flux(len: usize, seed: u64) -> Vec<f64> {
             + 8.0 * (2.0 * std::f64::consts::PI * t / p2).sin();
         let noise = 5.0 * rng.next_gaussian();
         // Transit-like dips: rare, deep, negative excursions.
-        let dip = if rng.next_f64() < 0.01 { -(150.0 + 400.0 * rng.next_f64()) } else { 0.0 };
+        let dip = if rng.next_f64() < 0.01 {
+            -(150.0 + 400.0 * rng.next_f64())
+        } else {
+            0.0
+        };
         out.push(base_level + trend + seasonal + noise + dip - 250.0);
     }
     out
@@ -122,7 +126,11 @@ mod tests {
         let stats = series_stats(&series);
         assert!(stats.min < -100.0, "min {}", stats.min);
         assert!(stats.max > 0.0, "max {}", stats.max);
-        assert!(stats.negative_fraction > 0.1, "negatives {}", stats.negative_fraction);
+        assert!(
+            stats.negative_fraction > 0.1,
+            "negatives {}",
+            stats.negative_fraction
+        );
         assert!(stats.negative_fraction < 0.999);
         // Deterministic.
         assert_eq!(series[..100], kepler_like_flux(50_000, 33)[..100]);
@@ -145,7 +153,10 @@ mod tests {
         let objects = sdss_like_objects(20_000, 5);
         assert_eq!(objects.len(), 20_000);
         let runs_below_300 = objects.iter().filter(|o| o.run < 300).count();
-        let runs_mid = objects.iter().filter(|o| (600..900).contains(&o.run)).count();
+        let runs_mid = objects
+            .iter()
+            .filter(|o| (600..900).contains(&o.run))
+            .count();
         assert!(runs_mid > runs_below_300, "runs should cluster around ~750");
         assert!(runs_below_300 > 0, "the tail should not be empty");
         // Object ids embed the run in the high bits → correlated.

@@ -31,17 +31,26 @@ impl Distribution {
     /// The three distributions evaluated in the paper, with their default
     /// parameters.
     pub fn paper_set() -> [Distribution; 3] {
-        [Distribution::Uniform, Distribution::normal(), Distribution::zipfian()]
+        [
+            Distribution::Uniform,
+            Distribution::normal(),
+            Distribution::zipfian(),
+        ]
     }
 
     /// Normal distribution with the default spread.
     pub fn normal() -> Self {
-        Distribution::Normal { sigma_fraction: 0.125 }
+        Distribution::Normal {
+            sigma_fraction: 0.125,
+        }
     }
 
     /// Zipfian distribution with the YCSB default skew.
     pub fn zipfian() -> Self {
-        Distribution::Zipfian { distinct: 1 << 24, theta: 0.99 }
+        Distribution::Zipfian {
+            distinct: 1 << 24,
+            theta: 0.99,
+        }
     }
 
     /// Short label used in CSV output.
@@ -91,11 +100,24 @@ impl Sampler {
                 let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
                 let domain = domain_max(domain_bits);
                 let stride = (domain / n).max(1);
-                Some(ZipfState { distinct: n, theta, alpha, zetan, eta, stride, scramble: seed | 1 })
+                Some(ZipfState {
+                    distinct: n,
+                    theta,
+                    alpha,
+                    zetan,
+                    eta,
+                    stride,
+                    scramble: seed | 1,
+                })
             }
             _ => None,
         };
-        Self { distribution, domain_bits, rng: Rng::new(seed), zipf }
+        Self {
+            distribution,
+            domain_bits,
+            rng: Rng::new(seed),
+            zipf,
+        }
     }
 
     /// The sampled distribution.
@@ -123,8 +145,7 @@ impl Sampler {
                 let rank = zipf_rank(&mut self.rng, z);
                 // Scatter ranks over the domain so the skew is in *frequency*,
                 // not in key locality (matching YCSB's scrambled zipfian).
-                let scattered =
-                    bloomrf::hashing::mix64(rank.wrapping_mul(z.scramble)) % z.distinct;
+                let scattered = bloomrf::hashing::mix64(rank.wrapping_mul(z.scramble)) % z.distinct;
                 (scattered * z.stride).min(max)
             }
         }
@@ -200,7 +221,10 @@ mod tests {
         let mut s = Sampler::new(Distribution::Uniform, 64, 1);
         let keys = s.sample_many(10_000);
         let below_half = keys.iter().filter(|&&k| k < u64::MAX / 2).count();
-        assert!((4000..6000).contains(&below_half), "half split {below_half}");
+        assert!(
+            (4000..6000).contains(&below_half),
+            "half split {below_half}"
+        );
         let mut s = Sampler::new(Distribution::Uniform, 16, 1);
         assert!(s.sample_many(1000).iter().all(|&k| k < 65536));
     }
@@ -220,7 +244,14 @@ mod tests {
 
     #[test]
     fn zipfian_is_skewed_in_frequency() {
-        let mut s = Sampler::new(Distribution::Zipfian { distinct: 1 << 20, theta: 0.99 }, 64, 3);
+        let mut s = Sampler::new(
+            Distribution::Zipfian {
+                distinct: 1 << 20,
+                theta: 0.99,
+            },
+            64,
+            3,
+        );
         let keys = s.sample_many(50_000);
         let mut counts = std::collections::HashMap::new();
         for k in keys {

@@ -39,7 +39,10 @@ impl QueryGenerator {
         let mut sorted_keys = keys.to_vec();
         sorted_keys.sort_unstable();
         sorted_keys.dedup();
-        Self { sorted_keys, sampler: Sampler::new(distribution, 64, seed) }
+        Self {
+            sorted_keys,
+            sampler: Sampler::new(distribution, 64, seed),
+        }
     }
 
     /// Does the key set intersect `[lo, hi]`?
@@ -77,7 +80,10 @@ impl QueryGenerator {
 
     /// Generate `count` empty point queries.
     pub fn empty_points(&mut self, count: usize) -> Vec<u64> {
-        self.empty_ranges(count, 1).into_iter().map(|q| q.lo).collect()
+        self.empty_ranges(count, 1)
+            .into_iter()
+            .map(|q| q.lo)
+            .collect()
     }
 
     /// Generate `count` range queries anchored near *existing* keys (each range
@@ -121,7 +127,10 @@ impl QueryGenerator {
 /// Measure the false-positive rate of a predicate over a set of empty queries:
 /// `fpr = positives / total` (every positive is false because the queries are
 /// empty by construction).
-pub fn false_positive_rate<F: FnMut(&RangeQuery) -> bool>(queries: &[RangeQuery], mut probe: F) -> f64 {
+pub fn false_positive_rate<F: FnMut(&RangeQuery) -> bool>(
+    queries: &[RangeQuery],
+    mut probe: F,
+) -> f64 {
     if queries.is_empty() {
         return 0.0;
     }

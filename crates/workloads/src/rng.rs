@@ -125,7 +125,10 @@ mod tests {
         }
         for &b in &buckets {
             let expected = n as f64 / 10.0;
-            assert!((b as f64 - expected).abs() < expected * 0.1, "bucket count {b}");
+            assert!(
+                (b as f64 - expected).abs() < expected * 0.1,
+                "bucket count {b}"
+            );
         }
     }
 

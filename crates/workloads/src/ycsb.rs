@@ -97,7 +97,11 @@ impl YcsbEWorkload {
         let mut rng = crate::rng::Rng::new(config.seed ^ 0xC0DE);
         rng.shuffle(&mut operations);
 
-        Self { load_keys, value_size: config.value_size, operations }
+        Self {
+            load_keys,
+            value_size: config.value_size,
+            operations,
+        }
     }
 
     /// The synthetic value stored for a key (deterministic filler bytes).
@@ -133,7 +137,10 @@ mod tests {
                 Operation::Scan(q) => {
                     assert_eq!(q.len(), 256);
                     let idx = sorted.partition_point(|&k| k < q.lo);
-                    assert!(idx >= sorted.len() || sorted[idx] > q.hi, "scan {q:?} not empty");
+                    assert!(
+                        idx >= sorted.len() || sorted[idx] > q.hi,
+                        "scan {q:?} not empty"
+                    );
                 }
                 other => panic!("unexpected operation {other:?}"),
             }
@@ -149,8 +156,16 @@ mod tests {
             ..Default::default()
         };
         let workload = YcsbEWorkload::generate(&config);
-        let reads = workload.operations.iter().filter(|o| matches!(o, Operation::Read(_))).count();
-        let scans = workload.operations.iter().filter(|o| matches!(o, Operation::Scan(_))).count();
+        let reads = workload
+            .operations
+            .iter()
+            .filter(|o| matches!(o, Operation::Read(_)))
+            .count();
+        let scans = workload
+            .operations
+            .iter()
+            .filter(|o| matches!(o, Operation::Scan(_)))
+            .count();
         assert_eq!(reads, 100);
         assert_eq!(scans, 300);
     }
@@ -170,7 +185,10 @@ mod tests {
         for op in &workload.operations {
             if let Operation::Scan(q) = op {
                 let idx = sorted.partition_point(|&k| k < q.lo);
-                assert!(idx < sorted.len() && sorted[idx] <= q.hi, "scan {q:?} should hit a key");
+                assert!(
+                    idx < sorted.len() && sorted[idx] <= q.hi,
+                    "scan {q:?} should hit a key"
+                );
             }
         }
     }
@@ -192,7 +210,11 @@ mod tests {
 
     #[test]
     fn workload_is_reproducible() {
-        let config = YcsbEConfig { num_keys: 1000, num_queries: 100, ..Default::default() };
+        let config = YcsbEConfig {
+            num_keys: 1000,
+            num_queries: 100,
+            ..Default::default()
+        };
         let a = YcsbEWorkload::generate(&config);
         let b = YcsbEWorkload::generate(&config);
         assert_eq!(a.load_keys, b.load_keys);

@@ -17,7 +17,10 @@ fn run_key(run: u64) -> u64 {
 
 fn main() {
     let objects = sdss_like_objects(200_000, 7);
-    println!("synthetic sky-survey dataset: {} (run, object_id) pairs", objects.len());
+    println!(
+        "synthetic sky-survey dataset: {} (run, object_id) pairs",
+        objects.len()
+    );
 
     // One filter over the concatenated attributes (both orders inserted).
     let multi = MultiAttrBloomRf::new(BloomRf::basic(64, objects.len() * 2, 9.0, 7).unwrap(), 32);
@@ -33,14 +36,20 @@ fn main() {
 
     // Query: Run < 300 AND ObjectID = const, where const belongs to an object
     // whose run is >= 300 → the true answer is "no".
-    let probe = objects.iter().find(|o| o.run >= 600).expect("dataset has high runs");
+    let probe = objects
+        .iter()
+        .find(|o| o.run >= 600)
+        .expect("dataset has high runs");
     let threshold = run_key(300);
 
     let multi_answer = multi.may_match(EqAttribute::B, probe.object_id, 0, threshold - 1);
     let separate_answer =
         run_filter.contains_range(0, threshold - 1) && id_filter.contains_point(probe.object_id);
 
-    println!("query: Run < 300 AND ObjectID = {:#x} (true answer: no)", probe.object_id);
+    println!(
+        "query: Run < 300 AND ObjectID = {:#x} (true answer: no)",
+        probe.object_id
+    );
     println!("  multi-attribute bloomRF(Run,ObjectID) -> {multi_answer}");
     println!("  two separate filters (conjunction)    -> {separate_answer}");
     println!("  (the separate Run<300 probe is almost always positive, so the");

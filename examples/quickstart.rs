@@ -18,14 +18,20 @@ fn main() {
         filter.insert(key);
     }
 
-    println!("basic bloomRF: {} keys, {:.1} bits/key", filter.key_count(),
-        filter.memory_bits() as f64 / n_keys as f64);
+    println!(
+        "basic bloomRF: {} keys, {:.1} bits/key",
+        filter.key_count(),
+        filter.memory_bits() as f64 / n_keys as f64
+    );
 
     // Point queries behave like a Bloom filter.
     assert!(filter.contains_point(13));
     assert!(filter.contains_point(977 + 13));
     let missing = 977 * 500 + 20; // between two keys
-    println!("point query for a missing key  -> {}", filter.contains_point(missing));
+    println!(
+        "point query for a missing key  -> {}",
+        filter.contains_point(missing)
+    );
 
     // Range queries: "is there any key in [lo, hi]?"
     assert!(filter.contains_range(0, 1000), "contains key 13");

@@ -25,7 +25,9 @@ pub mod prelude {
     };
     pub use bloomrf_filters::FilterKind;
     pub use bloomrf_lsm::{Db, DbOptions};
-    pub use bloomrf_workloads::{Distribution, QueryGenerator, Sampler, YcsbEConfig, YcsbEWorkload};
+    pub use bloomrf_workloads::{
+        Distribution, QueryGenerator, Sampler, YcsbEConfig, YcsbEWorkload,
+    };
 }
 
 #[cfg(test)]

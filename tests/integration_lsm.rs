@@ -40,7 +40,12 @@ fn db_matches_exact_model_for_every_filter() {
         }
         // Point reads agree with the model (both present and absent keys).
         for (i, &k) in keys.iter().enumerate().step_by(373) {
-            assert_eq!(db.get(k), model.get(&k).cloned(), "{}: key {k}", kind.label());
+            assert_eq!(
+                db.get(k),
+                model.get(&k).cloned(),
+                "{}: key {k}",
+                kind.label()
+            );
             let absent = k ^ 0x5555;
             if !model.contains_key(&absent) {
                 assert_eq!(db.get(absent), None, "{}: absent key", kind.label());
@@ -129,7 +134,10 @@ fn filter_false_positive_rates_are_ordered_sensibly() {
 
     let fpr = |kind: FilterKind| {
         let filter = kind.build(&keys, 18.0);
-        queries.iter().filter(|q| filter.may_contain_range(q.lo, q.hi)).count() as f64
+        queries
+            .iter()
+            .filter(|q| filter.may_contain_range(q.lo, q.hi))
+            .count() as f64
             / queries.len() as f64
     };
     let bloomrf_fpr = fpr(FilterKind::BloomRf { max_range: 64.0 });
@@ -137,5 +145,8 @@ fn filter_false_positive_rates_are_ordered_sensibly() {
     let bloom_fpr = fpr(FilterKind::Bloom);
     assert!(bloomrf_fpr < 0.1, "bloomRF FPR {bloomrf_fpr}");
     assert!(rosetta_fpr < 0.3, "Rosetta FPR {rosetta_fpr}");
-    assert!((bloom_fpr - 1.0).abs() < f64::EPSILON, "plain Bloom cannot prune ranges");
+    assert!(
+        (bloom_fpr - 1.0).abs() < f64::EPSILON,
+        "plain Bloom cannot prune ranges"
+    );
 }

@@ -21,7 +21,10 @@ fn section3_introductory_example() {
         assert!(filter.contains_range(k, k));
     }
     assert!(filter.contains_range(0, 65535));
-    assert!(filter.contains_range(1408, 1423), "prefix 0x058 contains 1414");
+    assert!(
+        filter.contains_range(1408, 1423),
+        "prefix 0x058 contains 1414"
+    );
 }
 
 /// Fig. 7: the canonical decomposition of [45, 60] in a 16-bit domain.
@@ -29,7 +32,10 @@ fn section3_introductory_example() {
 fn figure7_decomposition() {
     let parts = canonical_decomposition(45, 60, 16);
     let spans: Vec<(u64, u64)> = parts.iter().map(|d| (d.start(), d.end())).collect();
-    assert_eq!(spans, vec![(45, 45), (46, 47), (48, 55), (56, 59), (60, 60)]);
+    assert_eq!(
+        spans,
+        vec![(45, 45), (46, 47), (48, 55), (56, 59), (60, 60)]
+    );
 }
 
 /// Sect. 7 advisor example: n = 50M keys, 14 bits/key, d = 64 → exact level 36

@@ -6,11 +6,11 @@
 use proptest::prelude::*;
 
 use bloomrf::dyadic::canonical_decomposition;
+use bloomrf::traits::{OnlineFilter, PointRangeFilter};
 use bloomrf::{decode_f64, decode_i64, encode_f64, encode_i64, BloomRf};
 use bloomrf_filters::{
     BloomFilter, CuckooFilter, RosettaFilter, RosettaVariant, SurfFilter, SurfMode,
 };
-use bloomrf::traits::{OnlineFilter, PointRangeFilter};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

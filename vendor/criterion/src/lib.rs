@@ -1,0 +1,287 @@
+//! Offline shim for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros) with a small wall-clock measurement loop.
+//! There is no statistical analysis, HTML report, or outlier detection —
+//! each benchmark prints its per-iteration mean and, when a throughput was
+//! declared, elements per second.
+//!
+//! Environment knobs:
+//! * `CRITERION_SAMPLE_MS` — target measurement time per sample in
+//!   milliseconds (default 20).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the measurement loop for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: Vec<u64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            iters_per_sample: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Measure `routine`, calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = sample_budget();
+        // Warm up, then size the batch so one sample lasts roughly `budget`.
+        // Calibrate on timed batches of doubling size rather than a single
+        // cold call, so an expensive first iteration (lazy allocation, cold
+        // caches) cannot collapse the batch to ~1 iteration.
+        std::hint::black_box(routine());
+        let mut calib_iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..calib_iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget / 10 || calib_iters >= 1_000_000 {
+                break (elapsed / calib_iters as u32).max(Duration::from_nanos(1));
+            }
+            calib_iters *= 2;
+        };
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+            self.iters_per_sample.push(iters);
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        let total_ns: f64 = self.samples.iter().map(|d| d.as_nanos() as f64).sum();
+        let total_iters: f64 = self.iters_per_sample.iter().map(|&i| i as f64).sum();
+        if total_iters == 0.0 {
+            0.0
+        } else {
+            total_ns / total_iters
+        }
+    }
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(20);
+    Duration::from_millis(ms.max(1))
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measurement wall-clock time; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b))
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input))
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let mean_ns = bencher.mean_ns();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns / 1.0e9);
+                format!("  ({per_sec:.3e} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns / 1.0e9);
+                format!("  ({per_sec:.3e} B/s)")
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {}{rate}", self.name, format_ns(mean_ns));
+        self
+    }
+
+    /// Finish the group (prints nothing; reports are emitted per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_string())
+            .sample_size(10)
+            .bench_function("default", f);
+        self
+    }
+}
+
+/// Prevent the compiler from optimizing away a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with", 7), &7u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(ran >= 2);
+        std::env::remove_var("CRITERION_SAMPLE_MS");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,132 @@
+//! `any::<T>()` — the "whole domain" strategy for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Clone + Debug {
+    /// Generate one value from the full domain, with edge-case biasing.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The whole-domain strategy for `T`; mirrors `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// One draw in EDGE_ODDS lands on the per-type edge-case pool.
+const EDGE_ODDS: u64 = 8;
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                if rng.chance(1, EDGE_ODDS) {
+                    let pool = crate::num::u64::EDGES;
+                    return pool[rng.below(pool.len() as u64) as usize] as $ty;
+                }
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                if rng.chance(1, EDGE_ODDS) {
+                    let pool = crate::num::i64::EDGES;
+                    return pool[rng.below(pool.len() as u64) as usize] as $ty;
+                }
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.chance(1, 2)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.chance(1, EDGE_ODDS) {
+            let pool = crate::num::f64::EDGES;
+            return pool[rng.below(pool.len() as u64) as usize];
+        }
+        // Random bit patterns cover the full value space (normals,
+        // subnormals, infinities, and the occasional NaN) with realistic
+        // exponent diversity.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        if rng.chance(1, EDGE_ODDS) {
+            let pool = crate::num::f32::EDGES;
+            return pool[rng.below(pool.len() as u64) as usize];
+        }
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_edges_and_spread() {
+        let mut rng = TestRng::for_case("any_u64", 0);
+        let mut saw_zero = false;
+        let mut saw_large = false;
+        for _ in 0..4000 {
+            let v = u64::arbitrary(&mut rng);
+            saw_zero |= v == 0;
+            saw_large |= v > u64::MAX / 2;
+        }
+        assert!(saw_zero && saw_large);
+    }
+
+    #[test]
+    fn any_f64_produces_finite_values_mostly() {
+        let mut rng = TestRng::for_case("any_f64", 0);
+        let finite = (0..1000)
+            .filter(|_| f64::arbitrary(&mut rng).is_finite())
+            .count();
+        assert!(finite > 500);
+    }
+}

@@ -1,0 +1,100 @@
+//! Collection strategies: `prop::collection::vec(element, size)`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive length bounds for a generated collection; mirrors
+/// `proptest::collection::SizeRange`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    /// Smallest admissible length.
+    pub fn min(&self) -> usize {
+        self.min
+    }
+
+    /// Largest admissible length.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate a `Vec` whose elements come from `element` and whose length is
+/// drawn from `size` (any of `n`, `a..b`, `a..=b`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.in_range_u64(self.size.min as u64, self.size.max as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let strat = vec(any::<u64>(), 1..400);
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((1..400).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn fixed_size_is_exact() {
+        let strat = vec(any::<u8>(), 7);
+        let mut rng = TestRng::for_case("vec_fixed", 0);
+        assert_eq!(strat.generate(&mut rng).len(), 7);
+    }
+}

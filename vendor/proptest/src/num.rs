@@ -1,0 +1,73 @@
+//! Edge-case pools for the primitive numeric types. The [`crate::arbitrary`]
+//! strategies draw from these pools a fraction of the time so that boundary
+//! values (zero, extrema, power-of-two neighborhoods, IEEE-754 specials)
+//! appear far more often than uniform sampling would produce them — the
+//! shim's substitute for proptest's shrinking toward simple values.
+
+/// Edge cases for `u64` (also masked down for the narrower unsigned types).
+pub mod u64 {
+    /// Values every unsigned property should see early.
+    pub const EDGES: &[u64] = &[
+        0,
+        1,
+        2,
+        (1 << 32) - 1,
+        1 << 32,
+        (1 << 32) + 1,
+        u64::MAX - 1,
+        u64::MAX,
+    ];
+}
+
+/// Edge cases for `i64` (also masked down for the narrower signed types).
+pub mod i64 {
+    /// Values every signed property should see early.
+    pub const EDGES: &[i64] = &[
+        0,
+        1,
+        -1,
+        2,
+        -2,
+        i64::MAX - 1,
+        i64::MAX,
+        i64::MIN,
+        i64::MIN + 1,
+    ];
+}
+
+/// Edge cases for `f64`.
+pub mod f64 {
+    /// IEEE-754 specials and sign/magnitude boundaries. Includes NaN — tests
+    /// that cannot tolerate it use `prop_assume!`.
+    pub const EDGES: &[f64] = &[
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        f64::MAX,
+        f64::MIN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+    ];
+}
+
+/// Edge cases for `f32`.
+pub mod f32 {
+    /// IEEE-754 specials and sign/magnitude boundaries.
+    pub const EDGES: &[f32] = &[
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+    ];
+}

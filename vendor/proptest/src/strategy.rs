@@ -1,0 +1,165 @@
+//! The [`Strategy`] trait and implementations for the range expressions the
+//! workspace's property tests use (`0u64..1 << 40`, `1..400usize`, ...).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of values for one property-test argument.
+///
+/// Unlike real proptest there is no value tree and no shrinking: `generate`
+/// produces a finished value directly. Edge cases are biased in by the
+/// individual implementations instead of discovered by shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {:?}..{:?}",
+                    self.start,
+                    self.end
+                );
+                // Bias the endpoints in occasionally; uniform otherwise.
+                if rng.chance(1, 16) {
+                    return if rng.chance(1, 2) { self.start } else { self.end - 1 };
+                }
+                let lo = self.start as i128;
+                let hi = self.end as i128 - 1;
+                let span = (hi - lo) as u64;
+                (lo + rng.in_range_u64(0, span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                if rng.chance(1, 16) {
+                    return if rng.chance(1, 2) { *self.start() } else { *self.end() };
+                }
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                if (hi - lo) as u128 > u128::from(u64::MAX) {
+                    // Only reachable for the full u128/i128 span; fall back to
+                    // two words.
+                    let word = u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64());
+                    return (lo as u128).wrapping_add(word) as $ty;
+                }
+                let span = (hi - lo) as u64;
+                (lo + rng.in_range_u64(0, span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        if rng.chance(1, 16) {
+            return self.start;
+        }
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = self.start + unit * (self.end - self.start);
+        if v < self.end {
+            v.max(self.start)
+        } else {
+            // Rounding landed on (or past) the excluded upper bound; step to
+            // the largest representable value below it. Since start < end,
+            // that value is still >= start.
+            prev_f64(self.end)
+        }
+    }
+}
+
+/// Largest f64 strictly less than `x` (finite `x` assumed).
+fn prev_f64(x: f64) -> f64 {
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else if x < 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        -f64::from_bits(1) // below ±0.0 sits the smallest negative subnormal
+    }
+}
+
+/// Strategy returning a fixed value. Handy for composing and for the shim's
+/// own tests.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..2000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let s = (1usize..400).generate(&mut rng);
+            assert!((1..400).contains(&s));
+        }
+    }
+
+    #[test]
+    fn f64_range_excludes_upper_bound() {
+        let mut rng = TestRng::for_case("f64_range", 0);
+        for _ in 0..5000 {
+            let v = (0.0f64..1.0).generate(&mut rng);
+            assert!((0.0..1.0).contains(&v), "{v} escaped [0,1)");
+        }
+        assert!(prev_f64(1.0) < 1.0);
+        assert!(prev_f64(0.0) < 0.0);
+        assert!(prev_f64(-1.0) < -1.0);
+    }
+
+    #[test]
+    fn endpoints_are_reachable() {
+        let mut rng = TestRng::for_case("edges", 0);
+        let (mut saw_lo, mut saw_hi) = (false, false);
+        for _ in 0..5000 {
+            match (0u64..4).generate(&mut rng) {
+                0 => saw_lo = true,
+                3 => saw_hi = true,
+                _ => {}
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

@@ -1,0 +1,123 @@
+//! Test-runner types for the proptest shim: configuration, the per-case
+//! deterministic RNG, and the error type threaded through `prop_assert!`.
+
+/// Configuration for a `proptest!` block.
+///
+/// The only knob the shim supports is the case count. Like real proptest,
+/// the `PROPTEST_CASES` environment variable overrides whatever the source
+/// requests — tier-1 CI uses this to keep the heavy invariant suite fast
+/// without editing the tests.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per property (unless `PROPTEST_CASES`
+    /// overrides it at run time).
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases: env_case_override().unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256 cases.
+        Self::with_cases(256)
+    }
+}
+
+fn env_case_override() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; not a failure.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-case RNG (SplitMix64 seeded from the test name and case
+/// index). Determinism stands in for proptest's persisted failure seeds: a
+/// failing case number reproduces exactly on re-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        seed ^= u64::from(case);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift (Lemire); bias is negligible for test generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
+    }
+
+    /// True with probability `num / denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("prop", 3);
+        let mut b = TestRng::for_case("prop", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("prop", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn in_range_respects_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = rng.in_range_u64(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        // Full-width range must not overflow.
+        let _ = rng.in_range_u64(0, u64::MAX);
+    }
+}

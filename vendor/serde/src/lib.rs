@@ -1,0 +1,21 @@
+//! Offline shim for the `serde` crate (see `vendor/README.md`).
+//!
+//! Provides marker traits with the real crate's names plus derive macros that
+//! implement them, so types annotated with
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]`
+//! and `#[serde(...)]` helper attributes compile when the feature is on. The
+//! shim does **not** serialize anything — swap in the registry crate for that.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};

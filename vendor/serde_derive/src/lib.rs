@@ -1,0 +1,117 @@
+//! Offline shim derive macros for the `serde` shim (see `vendor/README.md`).
+//!
+//! Each derive finds the annotated type's name (no `syn` available offline, so
+//! the token stream is scanned by hand) and emits an empty marker-trait impl.
+//! `attributes(serde)` registers the `#[serde(...)]` helper attributes the
+//! real derives accept, so annotations like `#[serde(skip)]` parse.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Scan a `struct`/`enum`/`union` item for its name and generic parameter
+/// names. Returns `(type_name, generic_idents)`.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#` followed by a bracketed group) and visibility /
+    // other modifiers until the item keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute's bracketed group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" || id == "union" {
+                    if let Some(TokenTree::Ident(n)) = tokens.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+                // `pub`, `pub(crate)` group handled below, etc. — keep going.
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("shim derive: could not find type name");
+
+    // Collect generic parameter idents from `<...>` at depth 1, if present.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while let Some(tt) = tokens.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        // Lifetime parameter: splice the tick onto the ident.
+                        if let Some(TokenTree::Ident(id)) = tokens.next() {
+                            generics.push(format!("'{id}"));
+                        }
+                        expect_param = false;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let id = id.to_string();
+                        if id != "const" {
+                            generics.push(id);
+                            expect_param = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn impl_header(generics: &[String], extra_lifetime: Option<&str>) -> (String, String) {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    params.extend(generics.iter().cloned());
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    (impl_generics, ty_generics)
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let (impl_g, ty_g) = impl_header(&generics, None);
+    format!("impl{impl_g} ::serde::Serialize for {name}{ty_g} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let (impl_g, ty_g) = impl_header(&generics, Some("'de"));
+    format!("impl{impl_g} ::serde::Deserialize<'de> for {name}{ty_g} {{}}")
+        .parse()
+        .unwrap()
+}
