@@ -1,19 +1,66 @@
 //! Bit-array primitives used by bloomRF and the baseline filters.
 //!
-//! Two flavours are provided:
+//! Three flavours are provided:
 //!
 //! * [`BitVec`] — a plain, single-threaded bit vector with word-granular access.
 //!   Used for exact-layer bitmaps, baseline filters and succinct structures.
 //! * [`AtomicBits`] — a lock-free bit array backed by `AtomicU64`. bloomRF is an
 //!   *online* filter (Problem 2 in the paper): keys can be inserted while queries
 //!   run concurrently, so the probabilistic segments use atomic words.
+//! * [`ShardedAtomicBits`] — the same logical bit array striped into
+//!   independently allocated shards, routed by the prefix of the physical word
+//!   index and written with a CAS loop. The striping changes the memory layout
+//!   (separate allocations, no cross-shard cache-line sharing), *not* the
+//!   logical addressing, so a filter built on it answers bit-identically to
+//!   one built on [`AtomicBits`].
 //!
-//! Both types address sub-words of `1..=64` bits. bloomRF's piecewise-monotone
+//! The concurrent flavours share the [`BitStore`] trait, which is what the
+//! generic [`crate::BloomRf`] probes against.
+//!
+//! All types address sub-words of `1..=64` bits. bloomRF's piecewise-monotone
 //! hash functions read and write *words* of `2^(Δ-1)` bits; because every
 //! supported word size divides 64 and segments are 64-bit aligned, a logical
 //! word never straddles two physical `u64` words.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Concurrent bit storage that bloomRF's probe engine runs against.
+///
+/// `false`-returning reads may race with in-flight `set`s (same relaxed
+/// semantics as [`AtomicBits`]); once a write call has returned, it is visible
+/// to every subsequent read on the same thread and to any thread synchronized
+/// with the writer (e.g. via `join`).
+pub trait BitStore: Send + Sync + std::fmt::Debug {
+    /// Create a zeroed store with room for `bits` bits.
+    fn with_bits(bits: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Atomically set bit `idx`.
+    fn set(&self, idx: usize);
+
+    /// Read bit `idx`.
+    fn get(&self, idx: usize) -> bool;
+
+    /// Load a logical word of `width` bits (1..=64, dividing 64) at the
+    /// `width`-aligned bit position `start`.
+    fn load_word(&self, start: usize, width: u32) -> u64;
+
+    /// OR a logical word of `width` bits into the store at aligned `start`.
+    fn or_word(&self, start: usize, width: u32, value: u64);
+
+    /// True if any bit in the inclusive bit range `[lo, hi]` is set.
+    fn any_set_in(&self, lo: usize, hi: usize) -> bool;
+
+    /// Count of set bits.
+    fn count_ones(&self) -> usize;
+
+    /// Total payload bits (multiple of 64).
+    fn capacity_bits(&self) -> usize;
+
+    /// Copy the current contents into a plain [`BitVec`].
+    fn snapshot(&self) -> BitVec;
+}
 
 /// Round a bit count up to a whole number of 64-bit words.
 #[inline]
@@ -382,6 +429,229 @@ impl Clone for AtomicBits {
     }
 }
 
+impl BitStore for AtomicBits {
+    fn with_bits(bits: usize) -> Self {
+        Self::new(bits)
+    }
+    #[inline]
+    fn set(&self, idx: usize) {
+        AtomicBits::set(self, idx);
+    }
+    #[inline]
+    fn get(&self, idx: usize) -> bool {
+        AtomicBits::get(self, idx)
+    }
+    #[inline]
+    fn load_word(&self, start: usize, width: u32) -> u64 {
+        AtomicBits::load_word(self, start, width)
+    }
+    #[inline]
+    fn or_word(&self, start: usize, width: u32, value: u64) {
+        AtomicBits::or_word(self, start, width, value);
+    }
+    fn any_set_in(&self, lo: usize, hi: usize) -> bool {
+        AtomicBits::any_set_in(self, lo, hi)
+    }
+    fn count_ones(&self) -> usize {
+        AtomicBits::count_ones(self)
+    }
+    fn capacity_bits(&self) -> usize {
+        AtomicBits::capacity_bits(self)
+    }
+    fn snapshot(&self) -> BitVec {
+        AtomicBits::snapshot(self)
+    }
+}
+
+/// A lock-free bit array striped into independently allocated shards.
+///
+/// The logical address space is identical to [`AtomicBits`]: bit `idx` lives
+/// in physical 64-bit word `idx / 64`. Words are routed to shards by the
+/// *prefix* of the word index (word `w` belongs to shard `w /
+/// words_per_shard`), so each shard owns one contiguous stripe of the logical
+/// array in its own allocation. Concurrent writers touching different stripes
+/// never share a cache line, and each write is a `compare_exchange` loop that
+/// skips the store entirely when every requested bit is already set — the
+/// common case once a filter segment fills up.
+///
+/// Because routing is a pure function of the bit index, a bloomRF filter built
+/// over `ShardedAtomicBits` sets and probes exactly the same logical bits as
+/// one built over [`AtomicBits`]; the differential property tests assert this
+/// end to end.
+#[derive(Debug)]
+pub struct ShardedAtomicBits {
+    /// One contiguous stripe of physical words per shard, separately boxed so
+    /// stripes never share an allocation.
+    shards: Vec<Box<[AtomicU64]>>,
+    words_per_shard: usize,
+    bits: usize,
+}
+
+/// Default shard count used by [`ShardedAtomicBits::with_bits`] (via the
+/// [`BitStore`] constructor, where no explicit count can be passed).
+pub const DEFAULT_SHARDS: usize = 8;
+
+impl ShardedAtomicBits {
+    /// Create a zeroed sharded array with room for `bits` bits, striped into
+    /// (at most) `shards` shards. A shard never holds less than one word, so
+    /// tiny arrays get fewer shards than requested.
+    pub fn new(bits: usize, shards: usize) -> Self {
+        let total_words = words_for_bits(bits);
+        let shards = shards.clamp(1, total_words.max(1));
+        let words_per_shard = total_words.div_ceil(shards).max(1);
+        let mut stripes = Vec::with_capacity(shards);
+        let mut remaining = total_words;
+        while remaining > 0 {
+            let n = remaining.min(words_per_shard);
+            stripes.push((0..n).map(|_| AtomicU64::new(0)).collect());
+            remaining -= n;
+        }
+        if stripes.is_empty() {
+            stripes.push(Vec::new().into_boxed_slice());
+        }
+        Self {
+            shards: stripes,
+            words_per_shard,
+            bits,
+        }
+    }
+
+    /// Number of shards the array is striped into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Route a physical word index to its shard and in-shard slot.
+    #[inline(always)]
+    fn locate(&self, word_idx: usize) -> &AtomicU64 {
+        &self.shards[word_idx / self.words_per_shard][word_idx % self.words_per_shard]
+    }
+
+    /// OR `mask` into physical word `word_idx` with a CAS loop, skipping the
+    /// store when the bits are already present.
+    #[inline]
+    fn fetch_or_word(&self, word_idx: usize, mask: u64) {
+        let word = self.locate(word_idx);
+        let mut current = word.load(Ordering::Relaxed);
+        while current & mask != mask {
+            match word.compare_exchange_weak(
+                current,
+                current | mask,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// True if the array holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+}
+
+impl BitStore for ShardedAtomicBits {
+    fn with_bits(bits: usize) -> Self {
+        Self::new(bits, DEFAULT_SHARDS)
+    }
+
+    #[inline]
+    fn set(&self, idx: usize) {
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
+        self.fetch_or_word(idx / 64, 1u64 << (idx % 64));
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> bool {
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
+        (self.locate(idx / 64).load(Ordering::Relaxed) >> (idx % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn load_word(&self, start: usize, width: u32) -> u64 {
+        debug_assert!((1..=64).contains(&width) && 64 % width == 0);
+        debug_assert_eq!(start % width as usize, 0, "unaligned word load");
+        let word = self.locate(start / 64).load(Ordering::Relaxed);
+        let shift = (start % 64) as u32;
+        if width == 64 {
+            word
+        } else {
+            (word >> shift) & ((1u64 << width) - 1)
+        }
+    }
+
+    #[inline]
+    fn or_word(&self, start: usize, width: u32, value: u64) {
+        debug_assert!((1..=64).contains(&width) && 64 % width == 0);
+        debug_assert_eq!(start % width as usize, 0, "unaligned word store");
+        let shift = (start % 64) as u32;
+        self.fetch_or_word(start / 64, value << shift);
+    }
+
+    fn any_set_in(&self, lo: usize, hi: usize) -> bool {
+        if lo > hi {
+            return false;
+        }
+        debug_assert!(hi < self.bits);
+        let (lw, hw) = (lo / 64, hi / 64);
+        if lw == hw {
+            let mask = mask_between(lo % 64, hi % 64);
+            return self.locate(lw).load(Ordering::Relaxed) & mask != 0;
+        }
+        if self.locate(lw).load(Ordering::Relaxed) & mask_between(lo % 64, 63) != 0 {
+            return true;
+        }
+        for w in lw + 1..hw {
+            if self.locate(w).load(Ordering::Relaxed) != 0 {
+                return true;
+            }
+        }
+        self.locate(hw).load(Ordering::Relaxed) & mask_between(0, hi % 64) != 0
+    }
+
+    fn count_ones(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    fn capacity_bits(&self) -> usize {
+        self.shards.iter().map(|s| s.len() * 64).sum()
+    }
+
+    fn snapshot(&self) -> BitVec {
+        let words: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        BitVec {
+            words,
+            bits: self.bits,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +773,85 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(ab.count_ones(), 4000);
+    }
+
+    #[test]
+    fn sharded_bits_mirror_atomic_bits() {
+        // The sharded store must be logically indistinguishable from the flat
+        // atomic store for every operation the filter performs.
+        for shards in [1usize, 2, 3, 8, 64] {
+            let flat = AtomicBits::new(4096);
+            let sharded = ShardedAtomicBits::new(4096, shards);
+            for i in 0..4096usize {
+                let bit = (crate::hashing::mix64(i as u64) % 4096) as usize;
+                flat.set(bit);
+                BitStore::set(&sharded, bit);
+            }
+            sharded.or_word(128, 8, 0xA5);
+            flat.or_word(128, 8, 0xA5);
+            assert_eq!(flat.count_ones(), BitStore::count_ones(&sharded));
+            for i in 0..4096usize {
+                assert_eq!(flat.get(i), BitStore::get(&sharded, i), "bit {i}");
+            }
+            for start in (0..4096).step_by(64) {
+                assert_eq!(
+                    flat.load_word(start, 64),
+                    BitStore::load_word(&sharded, start, 64)
+                );
+            }
+            for (lo, hi) in [(0usize, 4095usize), (100, 100), (63, 64), (1000, 3000)] {
+                assert_eq!(
+                    flat.any_set_in(lo, hi),
+                    BitStore::any_set_in(&sharded, lo, hi),
+                    "range [{lo},{hi}] shards={shards}"
+                );
+            }
+            assert_eq!(flat.snapshot(), BitStore::snapshot(&sharded));
+        }
+    }
+
+    #[test]
+    fn sharded_bits_geometry() {
+        let s = ShardedAtomicBits::new(64 * 10, 4);
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.len(), 640);
+        assert_eq!(BitStore::capacity_bits(&s), 640);
+        assert!(!s.is_empty());
+        // A tiny array cannot be split below one word per shard.
+        let tiny = ShardedAtomicBits::new(64, 16);
+        assert_eq!(tiny.shard_count(), 1);
+        // Shard count 0 is clamped to 1.
+        let one = ShardedAtomicBits::new(256, 0);
+        assert_eq!(one.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_bits_concurrent_cas_inserts() {
+        use std::sync::Arc;
+        let bits = Arc::new(ShardedAtomicBits::new(64 * 1024, 8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let bits = Arc::clone(&bits);
+            handles.push(std::thread::spawn(move || {
+                // Threads deliberately overlap on half of their positions to
+                // exercise the CAS retry path.
+                for i in 0..4000u64 {
+                    let idx = if i % 2 == 0 {
+                        (i * 7) % (64 * 1024)
+                    } else {
+                        (t * 8000 + i) % (64 * 1024)
+                    };
+                    BitStore::set(&*bits, idx as usize);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every position written by any thread must be visible after join.
+        for i in (0..4000u64).step_by(2) {
+            assert!(BitStore::get(&*bits, ((i * 7) % (64 * 1024)) as usize));
+        }
     }
 
     #[test]

@@ -181,7 +181,9 @@ impl BloomRfConfig {
                     gap: layer.gap,
                 });
             }
-            if layer.replicas == 0 {
+            // The per-filter seed schedule reserves 8 slots per layer, which
+            // bounds the replica count (the paper's advisor uses at most 2).
+            if layer.replicas == 0 || layer.replicas > 8 {
                 return Err(ConfigError::InvalidReplicas { layer: idx });
             }
             if layer.segment >= self.segment_bits.len() {
@@ -357,6 +359,9 @@ mod tests {
         assert!(matches!(err, Err(ConfigError::SegmentOutOfRange { .. })));
         // Zero replicas.
         let err = BloomRfConfig::new(64, vec![LayerSpec::new(0, 7, 0, 0)], vec![1024], None, 1);
+        assert!(matches!(err, Err(ConfigError::InvalidReplicas { .. })));
+        // More replicas than the seed schedule supports.
+        let err = BloomRfConfig::new(64, vec![LayerSpec::new(0, 7, 9, 0)], vec![1024], None, 1);
         assert!(matches!(err, Err(ConfigError::InvalidReplicas { .. })));
         // No layers at all.
         let err = BloomRfConfig::new(64, vec![], vec![1024], None, 1);

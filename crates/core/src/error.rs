@@ -20,7 +20,7 @@ pub enum ConfigError {
     },
     /// A layer gap must be in 1..=7 (word sizes of 1..=64 bits).
     InvalidGap { layer: usize, gap: u32 },
-    /// A layer must have at least one hash function (replica).
+    /// A layer must have between 1 and 8 hash functions (replicas).
     InvalidReplicas { layer: usize },
     /// A layer references a segment that does not exist.
     SegmentOutOfRange { layer: usize, segment: usize },
@@ -59,7 +59,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "layer {layer} has gap {gap}, supported gaps are 1..=7")
             }
             ConfigError::InvalidReplicas { layer } => {
-                write!(f, "layer {layer} must use at least one hash function")
+                write!(
+                    f,
+                    "layer {layer} must use between 1 and 8 hash functions"
+                )
             }
             ConfigError::SegmentOutOfRange { layer, segment } => {
                 write!(f, "layer {layer} references segment {segment} which does not exist")
@@ -83,6 +86,71 @@ impl fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Errors produced while deserializing a filter from bytes
+/// ([`crate::BloomRf::from_bytes`]). Each variant names a distinct way the
+/// input can be corrupted, so storage layers can distinguish a short read
+/// (`Truncated`) from actual bit rot (`BadMagic`, `BitArrayCorrupted`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the field starting at `offset` could be read.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// The input does not start with the `BLRF` magic bytes.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The decoded configuration failed validation.
+    InvalidConfig(ConfigError),
+    /// Serialized bit array `index` is malformed or its size disagrees with
+    /// the decoded configuration.
+    BitArrayCorrupted {
+        /// Position of the bit array in the serialized stream (probabilistic
+        /// segments first, exact-layer bitmap last).
+        index: usize,
+    },
+    /// The input continues past the end of a well-formed filter.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "input truncated at byte offset {offset}")
+            }
+            DecodeError::BadMagic => write!(f, "missing BLRF magic header"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::InvalidConfig(e) => write!(f, "decoded configuration is invalid: {e}"),
+            DecodeError::BitArrayCorrupted { index } => {
+                write!(f, "serialized bit array {index} is corrupted")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a well-formed filter")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::InvalidConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for DecodeError {
+    fn from(e: ConfigError) -> Self {
+        DecodeError::InvalidConfig(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -145,5 +213,28 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn decode_error_messages_and_source() {
+        use std::error::Error as _;
+        let cases: Vec<(DecodeError, &str)> = vec![
+            (DecodeError::Truncated { offset: 12 }, "offset 12"),
+            (DecodeError::BadMagic, "BLRF"),
+            (DecodeError::UnsupportedVersion(9), "version 9"),
+            (
+                DecodeError::InvalidConfig(ConfigError::NoLayers),
+                "at least one layer",
+            ),
+            (DecodeError::BitArrayCorrupted { index: 2 }, "bit array 2"),
+            (DecodeError::TrailingBytes { remaining: 5 }, "5 trailing"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+        let wrapped: DecodeError = ConfigError::NoLayers.into();
+        assert!(wrapped.source().is_some());
+        assert!(DecodeError::BadMagic.source().is_none());
     }
 }

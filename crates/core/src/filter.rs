@@ -11,12 +11,34 @@
 //! The filter is *online*: `insert` takes `&self` and may run concurrently
 //! with lookups (the bit arrays are atomic), which is the property Experiment
 //! 4 of the paper evaluates.
+//!
+//! ## Storage backends and the batched probe engine
+//!
+//! `BloomRf` is generic over a [`BitStore`]: the default [`AtomicBits`]
+//! backend keeps each segment in one flat atomic array, while
+//! [`ShardedBloomRf`] (= `BloomRf<ShardedAtomicBits>`) stripes every segment
+//! into independently allocated shards routed by the prefix of the physical
+//! word index and written with a CAS loop. The logical bit addressing is the
+//! same for every backend, so the two filters are answer-for-answer
+//! identical — only the concurrency behaviour differs.
+//!
+//! Because the PMHF probes of different dyadic levels are independent, the
+//! probe engine also exposes batched entry points —
+//! [`BloomRf::insert_batch`], [`BloomRf::contains_point_batch`] and
+//! [`BloomRf::contains_range_batch`] — that group the work of many keys or
+//! ranges *per layer*: one pass over a layer computes and probes every
+//! pending position before the engine moves to the next layer, which
+//! amortizes the per-layer hash setup and keeps accesses local to one
+//! segment at a time. The batched paths are restructured loops over the very
+//! same per-layer step functions the sequential lookups use, so their
+//! answers are bit-identical by construction (and proven so by the
+//! differential property tests).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::bitarray::{mask_between, AtomicBits};
+use crate::bitarray::{mask_between, AtomicBits, BitStore, BitVec, ShardedAtomicBits};
 use crate::config::{BloomRfConfig, RangePolicy};
-use crate::error::ConfigError;
+use crate::error::{ConfigError, DecodeError};
 use crate::hashing::{derive_seeds, shl, shr, HashKind, Pmhf};
 use crate::traits::{OnlineFilter, PointRangeFilter};
 
@@ -47,28 +69,139 @@ struct LayerRuntime {
     hashers: Vec<Pmhf>,
 }
 
-/// The bloomRF filter.
+/// The bloomRF filter, generic over its concurrent bit storage.
+///
+/// The default backend is the flat [`AtomicBits`]; see [`ShardedBloomRf`] for
+/// the shard-striped variant. All probe logic is shared across backends.
 #[derive(Debug)]
-pub struct BloomRf {
+pub struct BloomRf<S: BitStore = AtomicBits> {
     config: BloomRfConfig,
     layers: Vec<LayerRuntime>,
-    segments: Vec<AtomicBits>,
-    exact: Option<AtomicBits>,
+    segments: Vec<S>,
+    exact: Option<S>,
     key_count: AtomicU64,
 }
 
+/// bloomRF over [`ShardedAtomicBits`]: every memory segment is striped into
+/// lock-free shards (routed by the prefix of the physical word index, written
+/// by CAS), which removes allocation-level sharing between concurrent writer
+/// threads. Construct with [`ShardedBloomRf::new_sharded`] or
+/// [`ShardedBloomRf::basic_sharded`]; answers are bit-identical to the
+/// equivalent [`BloomRf`].
+pub type ShardedBloomRf = BloomRf<ShardedAtomicBits>;
+
+/// State of one two-path range lookup between layer steps.
+///
+/// While `merged`, a single covering DI contains the whole query; after the
+/// split the left/right coverings are tracked independently and die when
+/// their single-bit check fails. `outcome` is set the moment the lookup can
+/// terminate early (definite hit, budget exhaustion, or both paths dead).
+struct RangeState {
+    lo: u64,
+    hi: u64,
+    merged: bool,
+    left_alive: bool,
+    right_alive: bool,
+    parent_level: u32,
+    outcome: Option<bool>,
+}
+
+/// How a range query enters the layer pipeline.
+enum RangeInit {
+    /// Resolved before touching any layer (empty interval).
+    Done(bool),
+    /// Degenerate single-point interval: resolved through the point path.
+    Point(u64),
+    /// A genuine range: run the exact-layer step and the layer pipeline.
+    Go(RangeState),
+}
+
 impl BloomRf {
-    /// Build an empty filter from a validated configuration.
+    /// Build an empty filter from a validated configuration, backed by flat
+    /// atomic bit arrays.
     pub fn new(config: BloomRfConfig) -> Result<Self, ConfigError> {
+        Self::with_store(config, AtomicBits::new)
+    }
+
+    /// Convenience constructor for the basic, tuning-free filter (Sect. 3).
+    pub fn basic(
+        domain_bits: u32,
+        n_keys: usize,
+        bits_per_key: f64,
+        delta: u32,
+    ) -> Result<Self, ConfigError> {
+        Self::new(BloomRfConfig::basic(
+            domain_bits,
+            n_keys,
+            bits_per_key,
+            delta,
+        )?)
+    }
+
+    /// Reconstruct a filter from [`BloomRf::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let (config, key_count, arrays) = decode_parts(bytes)?;
+        let filter = Self::new(config)?;
+        filter.restore_arrays(&arrays)?;
+        filter.key_count.store(key_count, Ordering::Relaxed);
+        Ok(filter)
+    }
+}
+
+impl ShardedBloomRf {
+    /// Build an empty sharded filter: every segment (and the exact-layer
+    /// bitmap, if any) is striped into (at most) `shards` lock-free shards.
+    pub fn new_sharded(config: BloomRfConfig, shards: usize) -> Result<Self, ConfigError> {
+        Self::with_store(config, |bits| ShardedAtomicBits::new(bits, shards))
+    }
+
+    /// Sharded counterpart of [`BloomRf::basic`].
+    pub fn basic_sharded(
+        domain_bits: u32,
+        n_keys: usize,
+        bits_per_key: f64,
+        delta: u32,
+        shards: usize,
+    ) -> Result<Self, ConfigError> {
+        Self::new_sharded(
+            BloomRfConfig::basic(domain_bits, n_keys, bits_per_key, delta)?,
+            shards,
+        )
+    }
+
+    /// Reconstruct a sharded filter from [`BloomRf::to_bytes`] output (the
+    /// serialized format is backend-independent).
+    pub fn from_bytes_sharded(bytes: &[u8], shards: usize) -> Result<Self, DecodeError> {
+        let (config, key_count, arrays) = decode_parts(bytes)?;
+        let filter = Self::new_sharded(config, shards)?;
+        filter.restore_arrays(&arrays)?;
+        filter.key_count.store(key_count, Ordering::Relaxed);
+        Ok(filter)
+    }
+
+    /// Shard count of the first probabilistic segment (segments smaller than
+    /// one word per shard are striped less finely).
+    pub fn shard_count(&self) -> usize {
+        self.segments[0].shard_count()
+    }
+}
+
+impl<S: BitStore> BloomRf<S> {
+    /// Build an empty filter whose bit arrays are produced by `make_store`
+    /// (called once per segment and once for the exact-layer bitmap).
+    pub fn with_store(
+        config: BloomRfConfig,
+        make_store: impl Fn(usize) -> S,
+    ) -> Result<Self, ConfigError> {
         config.validate()?;
-        let segments: Vec<AtomicBits> = config
+        let segments: Vec<S> = config
             .segment_bits
             .iter()
-            .map(|&bits| AtomicBits::new(bits))
+            .map(|&bits| make_store(bits))
             .collect();
         let exact = config.exact_level.map(|e| {
             let bits = 1usize << (config.domain_bits - e).min(63);
-            AtomicBits::new(bits)
+            make_store(bits)
         });
         let seeds = derive_seeds(config.hash_seed, config.layers.len() * 8);
         let mut layers = Vec::with_capacity(config.layers.len());
@@ -99,21 +232,6 @@ impl BloomRf {
             exact,
             key_count: AtomicU64::new(0),
         })
-    }
-
-    /// Convenience constructor for the basic, tuning-free filter (Sect. 3).
-    pub fn basic(
-        domain_bits: u32,
-        n_keys: usize,
-        bits_per_key: f64,
-        delta: u32,
-    ) -> Result<Self, ConfigError> {
-        Self::new(BloomRfConfig::basic(
-            domain_bits,
-            n_keys,
-            bits_per_key,
-            delta,
-        )?)
     }
 
     /// The configuration this filter was built from.
@@ -165,6 +283,58 @@ impl BloomRf {
         self.key_count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Insert a batch of keys, grouping the writes *per layer*: one pass
+    /// computes and sets every position of a layer before the next layer is
+    /// touched, so each segment region stays hot for the whole batch. For
+    /// segments too large to sit in cache, the layer's positions are
+    /// additionally sorted and deduplicated, turning the random-per-key write
+    /// pattern into one ascending sweep.
+    ///
+    /// Equivalent to calling [`BloomRf::insert`] for every key. Panics if any
+    /// key is outside the configured domain (checked before any bit is set).
+    pub fn insert_batch(&self, keys: &[u64]) {
+        // Sorting pays for itself only once a segment clearly exceeds L2;
+        // below that, the per-layer grouping alone provides the locality.
+        const SORT_THRESHOLD_BITS: usize = 1 << 24; // 2 MiB
+        for &key in keys {
+            assert!(
+                key <= self.config.max_key(),
+                "key {key} outside the {}-bit domain",
+                self.config.domain_bits
+            );
+        }
+        if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
+            for &key in keys {
+                exact.set(shr(key, e) as usize);
+            }
+        }
+        let mut positions: Vec<u64> = Vec::new();
+        for layer in &self.layers {
+            let seg = &self.segments[layer.segment];
+            if seg.capacity_bits() < SORT_THRESHOLD_BITS {
+                for h in &layer.hashers {
+                    for &key in keys {
+                        seg.set(h.bit_position(key, layer.word_count) as usize);
+                    }
+                }
+            } else {
+                positions.clear();
+                for h in &layer.hashers {
+                    for &key in keys {
+                        positions.push(h.bit_position(key, layer.word_count));
+                    }
+                }
+                positions.sort_unstable();
+                positions.dedup();
+                for &pos in positions.iter() {
+                    seg.set(pos as usize);
+                }
+            }
+        }
+        self.key_count
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+    }
+
     /// Approximate point membership test.
     pub fn contains_point(&self, key: u64) -> bool {
         if key > self.config.max_key() {
@@ -183,6 +353,30 @@ impl BloomRf {
         true
     }
 
+    /// Batched point membership: answers element-wise identical to
+    /// [`BloomRf::contains_point`], but evaluated level-by-level — each layer
+    /// is probed for every still-alive key before the next layer is touched,
+    /// so one segment region stays hot in cache for the whole batch.
+    pub fn contains_point_batch(&self, keys: &[u64]) -> Vec<bool> {
+        let max_key = self.config.max_key();
+        let mut alive: Vec<bool> = keys.iter().map(|&k| k <= max_key).collect();
+        if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
+            for (i, &key) in keys.iter().enumerate() {
+                if alive[i] && !exact.get(shr(key, e) as usize) {
+                    alive[i] = false;
+                }
+            }
+        }
+        for layer in &self.layers {
+            for (i, &key) in keys.iter().enumerate() {
+                if alive[i] && !self.layer_bit_set(layer, key) {
+                    alive[i] = false;
+                }
+            }
+        }
+        alive
+    }
+
     /// Approximate range emptiness test for the inclusive interval `[lo, hi]`.
     /// Returns `false` only if the filter can prove that no inserted key lies
     /// in the interval; `true` may be a false positive.
@@ -193,45 +387,128 @@ impl BloomRf {
     /// Range lookup that also reports probe-cost counters.
     pub fn contains_range_counted(&self, lo: u64, hi: u64) -> (bool, ProbeStats) {
         let mut stats = ProbeStats::default();
-        if lo > hi {
-            return (false, stats);
+        let budget = self.range_budget();
+        match self.range_init(lo, hi, &mut stats) {
+            RangeInit::Done(answer) => (answer, stats),
+            RangeInit::Point(key) => (self.contains_point(key), stats),
+            RangeInit::Go(mut state) => {
+                self.range_exact_step(&mut state, budget, &mut stats);
+                if let Some(answer) = state.outcome {
+                    return (answer, stats);
+                }
+                for layer in self.layers.iter().rev() {
+                    stats.layers_visited += 1;
+                    self.range_layer_step(layer, &mut state, budget, &mut stats);
+                    if let Some(answer) = state.outcome {
+                        return (answer, stats);
+                    }
+                }
+                // All decomposition intervals down to level 0 tested negative.
+                // The bottom layer is at level 0, where every prefix is a point
+                // and is absorbed into a decomposition run, so no covering can
+                // survive here.
+                (false, stats)
+            }
         }
-        let hi = hi.min(self.config.max_key());
-        if lo > hi {
-            return (false, stats);
-        }
-        if lo == hi {
-            stats.bit_checks = self.layers.len();
-            return (self.contains_point(lo), stats);
-        }
+    }
 
-        let budget = match self.config.range_policy {
+    /// Batched range lookup: answers element-wise identical to
+    /// [`BloomRf::contains_range`]. All queries advance through the layer
+    /// pipeline together — the engine runs the exact-layer step for every
+    /// query, then layer `k-1` for every unresolved query, then layer `k-2`,
+    /// and so on — executing the very same per-layer step function as the
+    /// sequential lookup. Degenerate single-point ranges are folded into one
+    /// [`BloomRf::contains_point_batch`] call.
+    pub fn contains_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
+        let budget = self.range_budget();
+        let mut out = vec![false; ranges.len()];
+        // Per-query probe counters are not reported on the batch path; one
+        // scratch accumulator serves every query.
+        let mut stats = ProbeStats::default();
+        let mut pending: Vec<(usize, RangeState)> = Vec::new();
+        let mut points: Vec<usize> = Vec::new();
+        let mut point_keys: Vec<u64> = Vec::new();
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            match self.range_init(lo, hi, &mut stats) {
+                RangeInit::Done(answer) => out[i] = answer,
+                RangeInit::Point(key) => {
+                    points.push(i);
+                    point_keys.push(key);
+                }
+                RangeInit::Go(state) => pending.push((i, state)),
+            }
+        }
+        for (&i, answer) in points.iter().zip(self.contains_point_batch(&point_keys)) {
+            out[i] = answer;
+        }
+        for (_, state) in pending.iter_mut() {
+            self.range_exact_step(state, budget, &mut stats);
+        }
+        for layer in self.layers.iter().rev() {
+            for (_, state) in pending.iter_mut() {
+                if state.outcome.is_none() {
+                    self.range_layer_step(layer, state, budget, &mut stats);
+                }
+            }
+        }
+        for (i, state) in pending {
+            out[i] = state.outcome.unwrap_or(false);
+        }
+        out
+    }
+
+    /// Word-access budget per layer implied by the configured range policy.
+    #[inline]
+    fn range_budget(&self) -> usize {
+        match self.config.range_policy {
             RangePolicy::Exact => usize::MAX,
             RangePolicy::Conservative {
                 max_words_per_layer,
             } => max_words_per_layer,
-        };
+        }
+    }
 
-        // Path state: while `merged`, a single covering DI contains the whole
-        // query; after the split the left/right coverings are tracked
-        // independently and die when their single-bit check fails.
-        let mut merged = true;
-        let mut left_alive = true;
-        let mut right_alive = true;
-        let mut parent_level;
+    /// Normalize the query interval and classify how it enters the pipeline.
+    fn range_init(&self, lo: u64, hi: u64, stats: &mut ProbeStats) -> RangeInit {
+        if lo > hi {
+            return RangeInit::Done(false);
+        }
+        let hi = hi.min(self.config.max_key());
+        if lo > hi {
+            return RangeInit::Done(false);
+        }
+        if lo == hi {
+            stats.bit_checks = self.layers.len();
+            return RangeInit::Point(lo);
+        }
+        RangeInit::Go(RangeState {
+            lo,
+            hi,
+            merged: true,
+            left_alive: true,
+            right_alive: true,
+            parent_level: 0,
+            outcome: None,
+        })
+    }
 
-        // --- Exact layer (topmost) ---------------------------------------
+    /// Run the exactly-stored topmost layer (when configured) and initialize
+    /// the parent level for the probabilistic pipeline.
+    fn range_exact_step(&self, state: &mut RangeState, budget: usize, stats: &mut ProbeStats) {
+        let (lo, hi) = (state.lo, state.hi);
         if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
             let lp = shr(lo, e);
             let rp = shr(hi, e);
             if lp == rp {
                 stats.exact_probes += 1;
                 if !exact.get(lp as usize) {
-                    return (false, stats);
+                    state.outcome = Some(false);
+                    return;
                 }
                 if di_start(lp, e) == lo && di_end(lp, e) == hi {
                     // The query is exactly this dyadic interval → exact answer.
-                    return (true, stats);
+                    state.outcome = Some(true);
+                    return;
                 }
             } else {
                 // Fully-contained middle region: exact, so a set bit is a true positive.
@@ -241,126 +518,142 @@ impl BloomRf {
                     let words = ((run_hi - run_lo) / 64 + 1) as usize;
                     stats.exact_probes += words;
                     if words > budget {
-                        return (true, stats);
+                        state.outcome = Some(true);
+                        return;
                     }
                     if exact.any_set_in(run_lo as usize, run_hi as usize) {
-                        return (true, stats);
+                        state.outcome = Some(true);
+                        return;
                     }
                 }
-                merged = false;
-                left_alive = di_start(lp, e) != lo && {
+                state.merged = false;
+                state.left_alive = di_start(lp, e) != lo && {
                     stats.exact_probes += 1;
                     exact.get(lp as usize)
                 };
-                right_alive = di_end(rp, e) != hi && {
+                state.right_alive = di_end(rp, e) != hi && {
                     stats.exact_probes += 1;
                     exact.get(rp as usize)
                 };
-                if !left_alive && !right_alive {
-                    return (false, stats);
+                if !state.left_alive && !state.right_alive {
+                    state.outcome = Some(false);
+                    return;
                 }
             }
-            parent_level = e;
+            state.parent_level = e;
         } else {
-            parent_level = self.config.top_boundary().max(self.config.domain_bits);
+            state.parent_level = self.config.top_boundary().max(self.config.domain_bits);
         }
+    }
 
-        // --- Probabilistic layers, top to bottom --------------------------
-        for layer in self.layers.iter().rev() {
-            stats.layers_visited += 1;
-            let level = layer.level;
-            let lp = shr(lo, level);
-            let rp = shr(hi, level);
-            if merged {
-                if lp == rp {
-                    // Single covering DI; if it happens to be exactly the query
-                    // interval it is a decomposition interval instead.
-                    stats.bit_checks += layer.hashers.len();
-                    let set = self.layer_bit_set(layer, lo);
-                    if di_start(lp, level) == lo && di_end(rp, level) == hi {
-                        return (set, stats);
-                    }
-                    if !set {
-                        return (false, stats);
-                    }
-                } else {
-                    // The two paths split at this layer.
-                    let run_lo = if di_start(lp, level) == lo {
-                        lp
-                    } else {
-                        lp + 1
-                    };
-                    let run_hi = if di_end(rp, level) == hi { rp } else { rp - 1 };
-                    if run_lo <= run_hi {
-                        match self.layer_run_any(layer, run_lo, run_hi, budget, &mut stats) {
-                            RunOutcome::Found => return (true, stats),
-                            RunOutcome::BudgetExceeded => return (true, stats),
-                            RunOutcome::Empty => {}
-                        }
-                    }
-                    merged = false;
-                    left_alive = di_start(lp, level) != lo && {
-                        stats.bit_checks += layer.hashers.len();
-                        self.layer_bit_set(layer, lo)
-                    };
-                    right_alive = di_end(rp, level) != hi && {
-                        stats.bit_checks += layer.hashers.len();
-                        self.layer_bit_set(layer, hi)
-                    };
-                    if !left_alive && !right_alive {
-                        return (false, stats);
-                    }
+    /// Advance one range lookup through a single probabilistic layer of the
+    /// two-path algorithm. Shared verbatim between the sequential lookup and
+    /// the batched engine.
+    fn range_layer_step(
+        &self,
+        layer: &LayerRuntime,
+        state: &mut RangeState,
+        budget: usize,
+        stats: &mut ProbeStats,
+    ) {
+        let (lo, hi) = (state.lo, state.hi);
+        let level = layer.level;
+        let lp = shr(lo, level);
+        let rp = shr(hi, level);
+        if state.merged {
+            if lp == rp {
+                // Single covering DI; if it happens to be exactly the query
+                // interval it is a decomposition interval instead.
+                stats.bit_checks += layer.hashers.len();
+                let set = self.layer_bit_set(layer, lo);
+                if di_start(lp, level) == lo && di_end(rp, level) == hi {
+                    state.outcome = Some(set);
+                    return;
+                }
+                if !set {
+                    state.outcome = Some(false);
+                    return;
                 }
             } else {
-                // Split phase: the left and right paths proceed independently
-                // inside their parent coverings.
-                if left_alive {
-                    let span = parent_level - level;
-                    let parent_last = shl(shr(lo, parent_level) + 1, span).wrapping_sub(1);
-                    let run_lo = if di_start(lp, level) == lo {
-                        lp
-                    } else {
-                        lp + 1
-                    };
-                    if run_lo <= parent_last {
-                        match self.layer_run_any(layer, run_lo, parent_last, budget, &mut stats) {
-                            RunOutcome::Found => return (true, stats),
-                            RunOutcome::BudgetExceeded => return (true, stats),
-                            RunOutcome::Empty => {}
+                // The two paths split at this layer.
+                let run_lo = if di_start(lp, level) == lo {
+                    lp
+                } else {
+                    lp + 1
+                };
+                let run_hi = if di_end(rp, level) == hi { rp } else { rp - 1 };
+                if run_lo <= run_hi {
+                    match self.layer_run_any(layer, run_lo, run_hi, budget, stats) {
+                        RunOutcome::Found | RunOutcome::BudgetExceeded => {
+                            state.outcome = Some(true);
+                            return;
                         }
+                        RunOutcome::Empty => {}
                     }
-                    left_alive = di_start(lp, level) != lo && {
-                        stats.bit_checks += layer.hashers.len();
-                        self.layer_bit_set(layer, lo)
-                    };
                 }
-                if right_alive {
-                    let span = parent_level - level;
-                    let parent_first = shl(shr(hi, parent_level), span);
-                    let run_hi = if di_end(rp, level) == hi { rp } else { rp - 1 };
-                    if parent_first <= run_hi {
-                        match self.layer_run_any(layer, parent_first, run_hi, budget, &mut stats) {
-                            RunOutcome::Found => return (true, stats),
-                            RunOutcome::BudgetExceeded => return (true, stats),
-                            RunOutcome::Empty => {}
-                        }
-                    }
-                    right_alive = di_end(rp, level) != hi && {
-                        stats.bit_checks += layer.hashers.len();
-                        self.layer_bit_set(layer, hi)
-                    };
-                }
-                if !left_alive && !right_alive {
-                    return (false, stats);
+                state.merged = false;
+                state.left_alive = di_start(lp, level) != lo && {
+                    stats.bit_checks += layer.hashers.len();
+                    self.layer_bit_set(layer, lo)
+                };
+                state.right_alive = di_end(rp, level) != hi && {
+                    stats.bit_checks += layer.hashers.len();
+                    self.layer_bit_set(layer, hi)
+                };
+                if !state.left_alive && !state.right_alive {
+                    state.outcome = Some(false);
+                    return;
                 }
             }
-            parent_level = level;
+        } else {
+            // Split phase: the left and right paths proceed independently
+            // inside their parent coverings.
+            if state.left_alive {
+                let span = state.parent_level - level;
+                let parent_last = shl(shr(lo, state.parent_level) + 1, span).wrapping_sub(1);
+                let run_lo = if di_start(lp, level) == lo {
+                    lp
+                } else {
+                    lp + 1
+                };
+                if run_lo <= parent_last {
+                    match self.layer_run_any(layer, run_lo, parent_last, budget, stats) {
+                        RunOutcome::Found | RunOutcome::BudgetExceeded => {
+                            state.outcome = Some(true);
+                            return;
+                        }
+                        RunOutcome::Empty => {}
+                    }
+                }
+                state.left_alive = di_start(lp, level) != lo && {
+                    stats.bit_checks += layer.hashers.len();
+                    self.layer_bit_set(layer, lo)
+                };
+            }
+            if state.right_alive {
+                let span = state.parent_level - level;
+                let parent_first = shl(shr(hi, state.parent_level), span);
+                let run_hi = if di_end(rp, level) == hi { rp } else { rp - 1 };
+                if parent_first <= run_hi {
+                    match self.layer_run_any(layer, parent_first, run_hi, budget, stats) {
+                        RunOutcome::Found | RunOutcome::BudgetExceeded => {
+                            state.outcome = Some(true);
+                            return;
+                        }
+                        RunOutcome::Empty => {}
+                    }
+                }
+                state.right_alive = di_end(rp, level) != hi && {
+                    stats.bit_checks += layer.hashers.len();
+                    self.layer_bit_set(layer, hi)
+                };
+            }
+            if !state.left_alive && !state.right_alive {
+                state.outcome = Some(false);
+                return;
+            }
         }
-
-        // All decomposition intervals down to level 0 tested negative. The
-        // bottom layer is at level 0, where every prefix is a point and is
-        // absorbed into a decomposition run, so no covering can survive here.
-        (false, stats)
+        state.parent_level = level;
     }
 
     /// Are all replica bits of `layer` set for `key`?
@@ -437,7 +730,7 @@ impl BloomRf {
 
     /// Snapshot the probabilistic segments (index 0..S) and the exact bitmap
     /// (last, if present) as plain bit vectors.
-    pub fn snapshot_bits(&self) -> Vec<crate::bitarray::BitVec> {
+    pub fn snapshot_bits(&self) -> Vec<BitVec> {
         let mut out: Vec<_> = self.segments.iter().map(|s| s.snapshot()).collect();
         if let Some(e) = &self.exact {
             out.push(e.snapshot());
@@ -446,7 +739,8 @@ impl BloomRf {
     }
 
     /// Serialize the filter (configuration + bit arrays) into a byte buffer,
-    /// as the LSM substrate stores it in an SST filter block.
+    /// as the LSM substrate stores it in an SST filter block. The format is
+    /// independent of the storage backend.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(b"BLRF");
@@ -475,76 +769,115 @@ impl BloomRf {
         out
     }
 
-    /// Reconstruct a filter from [`BloomRf::to_bytes`] output.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        let mut cur = 0usize;
-        let take = |cur: &mut usize, n: usize| -> Option<&[u8]> {
-            if *cur + n > bytes.len() {
-                return None;
+    /// OR decoded bit arrays into this (empty) filter's stores, validating
+    /// that every array matches the geometry the configuration implies.
+    fn restore_arrays(&self, arrays: &[BitVec]) -> Result<(), DecodeError> {
+        let expected = self.segments.len() + usize::from(self.exact.is_some());
+        if arrays.len() != expected {
+            return Err(DecodeError::BitArrayCorrupted {
+                index: arrays.len(),
+            });
+        }
+        let or_into = |store: &S, bv: &BitVec, index: usize| -> Result<(), DecodeError> {
+            if bv.words().len() * 64 != store.capacity_bits() {
+                return Err(DecodeError::BitArrayCorrupted { index });
             }
-            let s = &bytes[*cur..*cur + n];
-            *cur += n;
-            Some(s)
-        };
-        if take(&mut cur, 4)? != b"BLRF" {
-            return None;
-        }
-        let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
-        if version != 1 {
-            return None;
-        }
-        let domain_bits = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
-        let n_layers = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
-        let mut layers = Vec::with_capacity(n_layers);
-        for _ in 0..n_layers {
-            let level = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
-            let gap = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
-            let replicas = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
-            let segment = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
-            layers.push(crate::config::LayerSpec::new(level, gap, replicas, segment));
-        }
-        let n_segments = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
-        let mut segment_bits = Vec::with_capacity(n_segments);
-        for _ in 0..n_segments {
-            segment_bits.push(u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?) as usize);
-        }
-        let exact_level_raw = i64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
-        let exact_level = if exact_level_raw < 0 {
-            None
-        } else {
-            Some(exact_level_raw as u32)
-        };
-        let hash_seed = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
-        let key_count = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
-        let config =
-            BloomRfConfig::new(domain_bits, layers, segment_bits, exact_level, hash_seed).ok()?;
-        let filter = Self::new(config).ok()?;
-        // Restore bit arrays.
-        let expected = filter.segments.len() + usize::from(filter.exact.is_some());
-        let mut arrays = Vec::with_capacity(expected);
-        for _ in 0..expected {
-            let len = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?) as usize;
-            let bv = crate::bitarray::BitVec::from_bytes(take(&mut cur, len)?)?;
-            arrays.push(bv);
-        }
-        for (seg, bv) in filter.segments.iter().zip(arrays.iter()) {
             for (i, word) in bv.words().iter().enumerate() {
                 if *word != 0 {
-                    seg.or_word(i * 64, 64, *word);
+                    store.or_word(i * 64, 64, *word);
                 }
             }
+            Ok(())
+        };
+        for (i, (seg, bv)) in self.segments.iter().zip(arrays.iter()).enumerate() {
+            or_into(seg, bv, i)?;
         }
-        if let Some(exact) = &filter.exact {
-            let bv = arrays.last()?;
-            for (i, word) in bv.words().iter().enumerate() {
-                if *word != 0 {
-                    exact.or_word(i * 64, 64, *word);
-                }
-            }
+        if let Some(exact) = &self.exact {
+            or_into(exact, &arrays[expected - 1], expected - 1)?;
         }
-        filter.key_count.store(key_count, Ordering::Relaxed);
-        Some(filter)
+        Ok(())
     }
+}
+
+/// Parse [`BloomRf::to_bytes`] output into its configuration, key count and
+/// bit arrays, without committing to a storage backend.
+fn decode_parts(bytes: &[u8]) -> Result<(BloomRfConfig, u64, Vec<BitVec>), DecodeError> {
+    let mut cur = 0usize;
+    let take = |cur: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+        if *cur + n > bytes.len() {
+            return Err(DecodeError::Truncated { offset: *cur });
+        }
+        let s = &bytes[*cur..*cur + n];
+        *cur += n;
+        Ok(s)
+    };
+    let take_u32 = |cur: &mut usize| -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(take(cur, 4)?.try_into().unwrap()))
+    };
+    let take_u64 = |cur: &mut usize| -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(take(cur, 8)?.try_into().unwrap()))
+    };
+    if take(&mut cur, 4)? != b"BLRF" {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = take_u32(&mut cur)?;
+    if version != 1 {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let domain_bits = take_u32(&mut cur)?;
+    let n_layers = take_u32(&mut cur)? as usize;
+    // No `with_capacity` on attacker-controlled counts: truncation surfaces
+    // on the first short read instead of as a giant allocation.
+    let mut layers = Vec::new();
+    for _ in 0..n_layers {
+        let level = take_u32(&mut cur)?;
+        let gap = take_u32(&mut cur)?;
+        let replicas = take_u32(&mut cur)?;
+        let segment = take_u32(&mut cur)? as usize;
+        layers.push(crate::config::LayerSpec::new(level, gap, replicas, segment));
+    }
+    let n_segments = take_u32(&mut cur)? as usize;
+    let mut segment_bits = Vec::new();
+    for _ in 0..n_segments {
+        segment_bits.push(take_u64(&mut cur)? as usize);
+    }
+    let exact_level_raw = i64::from_le_bytes(take(&mut cur, 8)?.try_into().unwrap());
+    let exact_level = if exact_level_raw < 0 {
+        None
+    } else {
+        Some(exact_level_raw as u32)
+    };
+    let hash_seed = take_u64(&mut cur)?;
+    let key_count = take_u64(&mut cur)?;
+    // A genuine stream carries every declared bit array verbatim, so the
+    // declared sizes are bounded by the input length. This must run *before*
+    // `BloomRfConfig::new`: rejecting oversized declarations here keeps a
+    // flipped size byte from overflowing the config's word rounding or
+    // turning into a multi-terabyte allocation when the filter is
+    // constructed. (The fields are unvalidated at this point, hence the
+    // saturating arithmetic.)
+    let declared_bits: u128 = segment_bits.iter().map(|&b| b as u128).sum::<u128>()
+        + exact_level
+            .map(|e| 1u128 << domain_bits.saturating_sub(e).min(63))
+            .unwrap_or(0);
+    if declared_bits > bytes.len() as u128 * 8 {
+        return Err(DecodeError::Truncated { offset: cur });
+    }
+    let config = BloomRfConfig::new(domain_bits, layers, segment_bits, exact_level, hash_seed)?;
+    let expected_arrays = config.segment_bits.len() + usize::from(config.exact_level.is_some());
+    let mut arrays = Vec::new();
+    for index in 0..expected_arrays {
+        let len = take_u64(&mut cur)? as usize;
+        let bv = BitVec::from_bytes(take(&mut cur, len)?)
+            .ok_or(DecodeError::BitArrayCorrupted { index })?;
+        arrays.push(bv);
+    }
+    if cur != bytes.len() {
+        return Err(DecodeError::TrailingBytes {
+            remaining: bytes.len() - cur,
+        });
+    }
+    Ok((config, key_count, arrays))
 }
 
 /// Outcome of probing a run of sibling prefixes on one layer.
@@ -570,7 +903,7 @@ fn di_end(prefix: u64, level: u32) -> u64 {
     }
 }
 
-impl PointRangeFilter for BloomRf {
+impl<S: BitStore> PointRangeFilter for BloomRf<S> {
     fn name(&self) -> &'static str {
         "bloomRF"
     }
@@ -583,11 +916,20 @@ impl PointRangeFilter for BloomRf {
     fn memory_bits(&self) -> usize {
         self.memory_bits()
     }
+    fn may_contain_batch(&self, keys: &[u64]) -> Vec<bool> {
+        self.contains_point_batch(keys)
+    }
+    fn may_contain_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
+        self.contains_range_batch(ranges)
+    }
 }
 
-impl OnlineFilter for BloomRf {
+impl<S: BitStore> OnlineFilter for BloomRf<S> {
     fn insert(&mut self, key: u64) {
         BloomRf::insert(self, key);
+    }
+    fn insert_all(&mut self, keys: &[u64]) {
+        BloomRf::insert_batch(self, keys);
     }
 }
 
@@ -868,8 +1210,212 @@ mod tests {
             );
         }
         // Corrupted input is rejected, not mis-parsed.
-        assert!(BloomRf::from_bytes(&bytes[..bytes.len() / 2]).is_none());
-        assert!(BloomRf::from_bytes(b"garbage").is_none());
+        assert!(BloomRf::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(BloomRf::from_bytes(b"garbage").is_err());
+    }
+
+    #[test]
+    fn decode_errors_name_the_corruption() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 31 + 5).collect();
+        let f = basic_filter(&keys, 64, 14.0, 7);
+        let bytes = f.to_bytes();
+
+        // Every truncation point either reports Truncated or a corrupted
+        // trailing bit array — never a panic, never a mis-parse.
+        for cut in 0..bytes.len() {
+            match BloomRf::from_bytes(&bytes[..cut]) {
+                Err(DecodeError::Truncated { .. }) | Err(DecodeError::BitArrayCorrupted { .. }) => {
+                }
+                other => panic!("truncation at {cut} produced {other:?}"),
+            }
+        }
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            BloomRf::from_bytes(&bad).unwrap_err(),
+            DecodeError::BadMagic
+        );
+
+        // Unsupported version.
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            BloomRf::from_bytes(&bad).unwrap_err(),
+            DecodeError::UnsupportedVersion(9)
+        );
+
+        // Corrupted configuration: domain_bits = 0 fails validation.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            BloomRf::from_bytes(&bad).unwrap_err(),
+            DecodeError::InvalidConfig(_)
+        ));
+
+        // A declared segment size near u64::MAX must come back as an error
+        // (not overflow the config's word rounding, not attempt a giant
+        // allocation). The segment_bits field sits after the fixed header
+        // and the layer table.
+        let mut bad = bytes.clone();
+        let seg_bits_at = 4 + 4 + 4 + 4 + f.config().layers.len() * 16 + 4;
+        bad[seg_bits_at..seg_bits_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            BloomRf::from_bytes(&bad).unwrap_err(),
+            DecodeError::Truncated { .. }
+        ));
+
+        // Trailing garbage after a well-formed filter.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(&[0xAB; 3]);
+        assert_eq!(
+            BloomRf::from_bytes(&bad).unwrap_err(),
+            DecodeError::TrailingBytes { remaining: 3 }
+        );
+
+        // Empty input is a truncation at offset 0.
+        assert_eq!(
+            BloomRf::from_bytes(&[]).unwrap_err(),
+            DecodeError::Truncated { offset: 0 }
+        );
+    }
+
+    #[test]
+    fn sharded_from_bytes_roundtrip() {
+        let keys: Vec<u64> = (0..3000u64).map(crate::hashing::mix64).collect();
+        let f = basic_filter(&keys, 64, 14.0, 7);
+        let sharded = ShardedBloomRf::from_bytes_sharded(&f.to_bytes(), 4).expect("roundtrip");
+        assert_eq!(sharded.key_count(), f.key_count());
+        assert!(sharded.shard_count() >= 1);
+        for i in 0..1000u64 {
+            let probe = crate::hashing::mix64(i ^ 0xBEEF);
+            assert_eq!(f.contains_point(probe), sharded.contains_point(probe));
+            assert_eq!(
+                f.contains_range(probe, probe.saturating_add(1 << 24)),
+                sharded.contains_range(probe, probe.saturating_add(1 << 24))
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_filter_matches_sequential_answers() {
+        // The sharded store changes the physical layout only: every answer
+        // must be bit-identical to the flat filter built from the same keys.
+        let keys: Vec<u64> = (0..4000u64).map(crate::hashing::mix64).collect();
+        for shards in [1usize, 2, 4, 8] {
+            let flat = BloomRf::basic(64, keys.len(), 14.0, 7).unwrap();
+            let sharded = ShardedBloomRf::basic_sharded(64, keys.len(), 14.0, 7, shards).unwrap();
+            for &k in &keys {
+                flat.insert(k);
+                sharded.insert(k);
+            }
+            for i in 0..2000u64 {
+                let probe = crate::hashing::mix64(i ^ 0x5EED);
+                assert_eq!(
+                    flat.contains_point(probe),
+                    sharded.contains_point(probe),
+                    "point {probe} shards={shards}"
+                );
+                let hi = probe.saturating_add(1 << (i % 40));
+                assert_eq!(
+                    flat.contains_range(probe, hi),
+                    sharded.contains_range(probe, hi),
+                    "range [{probe},{hi}] shards={shards}"
+                );
+            }
+            assert_eq!(flat.snapshot_bits(), sharded.snapshot_bits());
+        }
+    }
+
+    #[test]
+    fn batch_apis_match_sequential_calls() {
+        let keys: Vec<u64> = (0..3000u64)
+            .map(|i| crate::hashing::mix64(i * 3 + 1))
+            .collect();
+        let single = BloomRf::basic(64, keys.len(), 14.0, 7).unwrap();
+        let batched = BloomRf::basic(64, keys.len(), 14.0, 7).unwrap();
+        for &k in &keys {
+            single.insert(k);
+        }
+        batched.insert_batch(&keys);
+        assert_eq!(single.key_count(), batched.key_count());
+        assert_eq!(single.snapshot_bits(), batched.snapshot_bits());
+
+        let probes: Vec<u64> = (0..2000u64)
+            .map(|i| crate::hashing::mix64(i ^ 0xF00D))
+            .collect();
+        let point_batch = single.contains_point_batch(&probes);
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(point_batch[i], single.contains_point(p), "point {p}");
+        }
+
+        let ranges: Vec<(u64, u64)> = probes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| match i % 5 {
+                0 => (p, p),                         // degenerate point
+                1 => (p, p.saturating_sub(1)),       // reversed → empty
+                2 => (p, p.saturating_add(1 << 30)), // wide
+                3 => (p, u64::MAX),                  // clamped
+                _ => (p, p.saturating_add(1 << (i % 20))),
+            })
+            .collect();
+        let range_batch = single.contains_range_batch(&ranges);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            assert_eq!(
+                range_batch[i],
+                single.contains_range(lo, hi),
+                "range [{lo},{hi}]"
+            );
+        }
+
+        // Empty batches are fine.
+        assert!(single.contains_point_batch(&[]).is_empty());
+        assert!(single.contains_range_batch(&[]).is_empty());
+        single.insert_batch(&[]);
+    }
+
+    #[test]
+    fn batch_apis_match_on_extended_config_with_exact_layer() {
+        let layers = vec![
+            LayerSpec::new(0, 7, 1, 1),
+            LayerSpec::new(7, 7, 1, 1),
+            LayerSpec::new(14, 7, 1, 1),
+            LayerSpec::new(21, 7, 1, 1),
+            LayerSpec::new(28, 4, 2, 0),
+        ];
+        let cfg = BloomRfConfig::new(48, layers, vec![1 << 16, 1 << 18], Some(32), 77).unwrap();
+        let f = BloomRf::new(cfg.clone()).unwrap();
+        let g = ShardedBloomRf::new_sharded(cfg, 4).unwrap();
+        let keys: Vec<u64> = (0..8000u64)
+            .map(|i| crate::hashing::mix64(i) >> 16)
+            .collect();
+        f.insert_batch(&keys);
+        g.insert_batch(&keys);
+        let ranges: Vec<(u64, u64)> = (0..1500u64)
+            .map(|i| {
+                let lo = crate::hashing::mix64(i) >> 16;
+                (lo, lo.saturating_add(1 << (i % 34)))
+            })
+            .collect();
+        let ff = f.contains_range_batch(&ranges);
+        let gg = g.contains_range_batch(&ranges);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            let want = f.contains_range(lo, hi);
+            assert_eq!(ff[i], want, "flat batch [{lo},{hi}]");
+            assert_eq!(gg[i], want, "sharded batch [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn insert_batch_rejects_out_of_domain_keys_before_writing() {
+        let f = BloomRf::basic(16, 100, 10.0, 4).unwrap();
+        let caught = std::panic::catch_unwind(|| f.insert_batch(&[1, 2, 1 << 16]));
+        assert!(caught.is_err(), "out-of-domain key must panic");
+        // The batch was validated up front: nothing was inserted.
+        assert_eq!(f.key_count(), 0);
+        assert!(!f.contains_point(1));
     }
 
     #[test]

@@ -70,8 +70,9 @@ pub mod model;
 pub mod traits;
 
 pub use advisor::{AdvisorParams, TunedConfig, TuningAdvisor};
+pub use bitarray::{AtomicBits, BitStore, ShardedAtomicBits};
 pub use config::{BloomRfConfig, LayerSpec, RangePolicy};
 pub use encode::{decode_f64, decode_i64, encode_f64, encode_i64, MultiAttrBloomRf};
-pub use error::ConfigError;
-pub use filter::{BloomRf, ProbeStats};
+pub use error::{ConfigError, DecodeError};
+pub use filter::{BloomRf, ProbeStats, ShardedBloomRf};
 pub use traits::{FilterBuilder, OnlineFilter, PointRangeFilter};

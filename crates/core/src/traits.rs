@@ -24,6 +24,23 @@ pub trait PointRangeFilter: Send + Sync {
     fn bits_per_key(&self, n_keys: usize) -> f64 {
         self.memory_bits() as f64 / n_keys.max(1) as f64
     }
+
+    /// Batched point membership: element `i` answers `may_contain(keys[i])`.
+    ///
+    /// Filters with a batched probe engine (bloomRF) override this to group
+    /// probes per level; the default simply loops.
+    fn may_contain_batch(&self, keys: &[u64]) -> Vec<bool> {
+        keys.iter().map(|&k| self.may_contain(k)).collect()
+    }
+
+    /// Batched range emptiness: element `i` answers
+    /// `may_contain_range(ranges[i].0, ranges[i].1)`.
+    fn may_contain_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
+        ranges
+            .iter()
+            .map(|&(lo, hi)| self.may_contain_range(lo, hi))
+            .collect()
+    }
 }
 
 /// A filter that supports online insertion (bloomRF, Bloom, Prefix-Bloom,

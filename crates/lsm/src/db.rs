@@ -122,6 +122,97 @@ impl Db {
         merged.into_iter().take(limit).collect()
     }
 
+    /// Batched, multi-threaded point lookup: element `i` equals
+    /// `self.get(keys[i])`. The batch is split across `threads` worker
+    /// threads (`0` = one per available core); each worker consults the
+    /// memtable, then fans its still-unresolved keys across the SSTs newest
+    /// to oldest through [`SsTable::get_many`], so every SST filter is probed
+    /// once per batch via bloomRF's level-grouped engine instead of once per
+    /// key.
+    pub fn get_batch(&self, keys: &[u64], threads: usize) -> Vec<Option<Vec<u8>>> {
+        let threads = effective_threads(threads, keys.len());
+        if threads <= 1 {
+            return self.get_chunk(keys);
+        }
+        let chunk = keys.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = keys
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || self.get_chunk(part)))
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("reader thread panicked"))
+                .collect()
+        })
+    }
+
+    /// One worker's share of [`Db::get_batch`].
+    fn get_chunk(&self, keys: &[u64]) -> Vec<Option<Vec<u8>>> {
+        let mut out: Vec<Option<Vec<u8>>> = keys.iter().map(|&k| self.memtable.get(k)).collect();
+        let ssts = self.ssts.read();
+        for sst in ssts.iter().rev() {
+            let unresolved: Vec<usize> = (0..keys.len()).filter(|&i| out[i].is_none()).collect();
+            if unresolved.is_empty() {
+                break;
+            }
+            let sub_keys: Vec<u64> = unresolved.iter().map(|&i| keys[i]).collect();
+            let found = sst.get_many(&sub_keys, &self.options.io_model, &self.stats);
+            for (&i, value) in unresolved.iter().zip(found) {
+                if value.is_some() {
+                    out[i] = value;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched, multi-threaded range-emptiness check: element `i` equals
+    /// `self.range_is_possibly_non_empty(ranges[i])` (reversed bounds are an
+    /// empty interval). Same fan-out structure as [`Db::get_batch`], with
+    /// each SST filter probed once per batch via
+    /// [`SsTable::range_non_empty_many`].
+    pub fn range_non_empty_batch(&self, ranges: &[(u64, u64)], threads: usize) -> Vec<bool> {
+        let threads = effective_threads(threads, ranges.len());
+        if threads <= 1 {
+            return self.range_chunk(ranges);
+        }
+        let chunk = ranges.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = ranges
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || self.range_chunk(part)))
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("reader thread panicked"))
+                .collect()
+        })
+    }
+
+    /// One worker's share of [`Db::range_non_empty_batch`].
+    fn range_chunk(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
+        let mut out: Vec<bool> = ranges
+            .iter()
+            .map(|&(lo, hi)| lo <= hi && self.memtable.first_in_range(lo, hi).is_some())
+            .collect();
+        let ssts = self.ssts.read();
+        for sst in ssts.iter() {
+            let unresolved: Vec<usize> = (0..ranges.len()).filter(|&i| !out[i]).collect();
+            if unresolved.is_empty() {
+                break;
+            }
+            let sub: Vec<(u64, u64)> = unresolved.iter().map(|&i| ranges[i]).collect();
+            let verdicts = sst.range_non_empty_many(&sub, &self.options.io_model, &self.stats);
+            for (&i, hit) in unresolved.iter().zip(verdicts) {
+                if hit {
+                    out[i] = true;
+                }
+            }
+        }
+        out
+    }
+
     /// Range emptiness check (the filter-driven fast path the paper measures):
     /// like [`Db::scan`] with `limit = 1` but without materializing values.
     pub fn range_is_possibly_non_empty(&self, lo: u64, hi: u64) -> bool {
@@ -180,6 +271,19 @@ impl Db {
     pub fn options(&self) -> &DbOptions {
         &self.options
     }
+}
+
+/// Resolve a requested worker count: `0` means one per available core, and a
+/// batch never gets more workers than items.
+fn effective_threads(requested: usize, items: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    requested.clamp(1, items.max(1))
 }
 
 #[cfg(test)]
@@ -289,6 +393,83 @@ mod tests {
     impl Db {
         fn memtable_len(&self) -> usize {
             self.memtable.len()
+        }
+    }
+
+    #[test]
+    fn get_batch_matches_sequential_gets_across_thread_counts() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        for i in 0..3500u64 {
+            db.put(i * 50, vec![(i % 200) as u8; 12]);
+        }
+        // Leave some entries in the memtable so the batch path covers it too.
+        assert!(db.memtable_len() > 0);
+        let probes: Vec<u64> = (0..1200u64)
+            .map(|i| if i % 2 == 0 { i * 50 } else { i * 50 + 13 })
+            .collect();
+        let expected: Vec<Option<Vec<u8>>> = probes.iter().map(|&k| db.get(k)).collect();
+        for threads in [1usize, 2, 4, 0] {
+            assert_eq!(
+                db.get_batch(&probes, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+        assert!(db.get_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn range_batch_matches_sequential_checks_across_thread_counts() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        for i in 0..3000u64 {
+            db.put(i * 100, vec![1]);
+        }
+        let ranges: Vec<(u64, u64)> = (0..800u64)
+            .map(|i| match i % 3 {
+                0 => (i * 100, i * 100 + 150),     // hits keys
+                1 => (i * 100 + 1, i * 100 + 50),  // gap
+                _ => (i * 100 + 50, i * 100 + 10), // reversed → empty
+            })
+            .collect();
+        let expected: Vec<bool> = ranges
+            .iter()
+            .map(|&(lo, hi)| lo <= hi && db.range_is_possibly_non_empty(lo, hi))
+            .collect();
+        for threads in [1usize, 3, 8, 0] {
+            assert_eq!(
+                db.range_non_empty_batch(&ranges, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_batch_readers_share_one_db() {
+        use std::sync::Arc;
+        let db = Arc::new(small_db(FilterKind::BloomRf { max_range: 1e6 }));
+        for i in 0..2000u64 {
+            db.put(i * 10, vec![i as u8]);
+        }
+        db.flush();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let probes: Vec<u64> = (0..500u64).map(|i| (i + t * 13) * 10).collect();
+                let got = db.get_batch(&probes, 2);
+                for (i, &p) in probes.iter().enumerate() {
+                    let want = if p < 20_000 {
+                        Some(vec![(p / 10) as u8])
+                    } else {
+                        None
+                    };
+                    assert_eq!(got[i], want, "key {p}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
         }
     }
 }

@@ -139,6 +139,11 @@ impl SsTable {
         if !positive {
             return None;
         }
+        self.lookup_after_filter(key, io, stats)
+    }
+
+    /// Index walk + block read for a key the filter answered positively.
+    fn lookup_after_filter(&self, key: u64, io: &IoModel, stats: &ReadStats) -> Option<Vec<u8>> {
         // Locate the candidate block via the index (fence pointers).
         let block_idx = self.index.partition_point(|&(_, last, _)| last < key);
         if block_idx >= self.index.len() || self.index[block_idx].0 > key {
@@ -157,6 +162,91 @@ impl SsTable {
             stats.record_false_positive();
         }
         result
+    }
+
+    /// Batched point lookup: probes the filter once for the whole batch via
+    /// [`PointRangeFilter::may_contain_batch`] (bloomRF's engine groups the
+    /// probes per dyadic level), then reads blocks only for the positives.
+    /// Element `i` equals `self.get(keys[i], ..)`.
+    pub fn get_many(&self, keys: &[u64], io: &IoModel, stats: &ReadStats) -> Vec<Option<Vec<u8>>> {
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let in_range: Vec<usize> = (0..keys.len())
+            .filter(|&i| keys[i] >= self.key_range.0 && keys[i] <= self.key_range.1)
+            .collect();
+        if in_range.is_empty() {
+            return out;
+        }
+        let probe_keys: Vec<u64> = in_range.iter().map(|&i| keys[i]).collect();
+        let start = Instant::now();
+        let verdicts = self.filter.may_contain_batch(&probe_keys);
+        // Charge the batch probe time evenly across its probes so the
+        // per-probe statistics stay comparable with the sequential path.
+        let per_probe_ns = (start.elapsed().as_nanos() as u64) / probe_keys.len().max(1) as u64;
+        for (&i, positive) in in_range.iter().zip(verdicts) {
+            stats.record_filter_probe(positive, per_probe_ns);
+            if positive {
+                out[i] = self.lookup_after_filter(keys[i], io, stats);
+            }
+        }
+        out
+    }
+
+    /// Batched range-emptiness check: element `i` is `true` iff the table
+    /// holds at least one key in `ranges[i]`. The filter is consulted once
+    /// for the whole batch; positives are confirmed against the data blocks
+    /// (equivalent to `!self.scan(lo, hi, 1, ..).is_empty()`).
+    pub fn range_non_empty_many(
+        &self,
+        ranges: &[(u64, u64)],
+        io: &IoModel,
+        stats: &ReadStats,
+    ) -> Vec<bool> {
+        let mut out = vec![false; ranges.len()];
+        let overlapping: Vec<usize> = (0..ranges.len())
+            .filter(|&i| {
+                let (lo, hi) = ranges[i];
+                lo <= hi && hi >= self.key_range.0 && lo <= self.key_range.1
+            })
+            .collect();
+        if overlapping.is_empty() {
+            return out;
+        }
+        let probe_ranges: Vec<(u64, u64)> = overlapping.iter().map(|&i| ranges[i]).collect();
+        let start = Instant::now();
+        let verdicts = self.filter.may_contain_range_batch(&probe_ranges);
+        let per_probe_ns = (start.elapsed().as_nanos() as u64) / probe_ranges.len().max(1) as u64;
+        for (&i, positive) in overlapping.iter().zip(verdicts) {
+            stats.record_filter_probe(positive, per_probe_ns);
+            if !positive {
+                continue;
+            }
+            let (lo, hi) = ranges[i];
+            let cpu_start = Instant::now();
+            let mut blocks_read = 0u64;
+            let mut found = false;
+            let first_block = self.index.partition_point(|&(_, last, _)| last < lo);
+            for block_idx in first_block..self.index.len() {
+                if self.index[block_idx].0 > hi {
+                    break;
+                }
+                blocks_read += 1;
+                if self
+                    .decode_block(block_idx)
+                    .iter()
+                    .any(|&(key, _)| key >= lo && key <= hi)
+                {
+                    found = true;
+                    break;
+                }
+            }
+            stats.record_block_reads(blocks_read, io);
+            stats.record_cpu(cpu_start.elapsed().as_nanos() as u64);
+            if !found {
+                stats.record_false_positive();
+            }
+            out[i] = found;
+        }
+        out
     }
 
     /// Range scan: return up to `limit` entries with keys in `[lo, hi]`,
@@ -332,5 +422,48 @@ mod tests {
     #[should_panic]
     fn empty_sst_is_rejected() {
         let _ = SsTable::build(&[], 8, FilterKind::Bloom, 10.0);
+    }
+
+    #[test]
+    fn get_many_matches_sequential_gets() {
+        let sst = build(1000);
+        let io = IoModel::default();
+        let stats = ReadStats::new();
+        // Mix present keys, gaps between keys, and out-of-range keys.
+        let probes: Vec<u64> = (0..600u64)
+            .map(|i| match i % 3 {
+                0 => (i / 3) * 30, // stored (multiples of 10)
+                1 => i * 7 + 3,    // mostly absent
+                _ => 20_000 + i,   // beyond the key range
+            })
+            .collect();
+        let batched = sst.get_many(&probes, &io, &stats);
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(batched[i], sst.get(p, &io, &stats), "key {p}");
+        }
+        assert!(sst.get_many(&[], &io, &stats).is_empty());
+    }
+
+    #[test]
+    fn range_non_empty_many_matches_sequential_scans() {
+        let sst = build(1000);
+        let io = IoModel::default();
+        let stats = ReadStats::new();
+        let ranges: Vec<(u64, u64)> = (0..400u64)
+            .map(|i| match i % 4 {
+                0 => (i * 10, i * 10 + 25),    // hits stored keys
+                1 => (i * 10 + 1, i * 10 + 5), // gap between 10-spaced keys
+                2 => (30_000 + i, 40_000),     // beyond the key range
+                _ => (i * 10 + 5, i * 10),     // reversed bounds
+            })
+            .collect();
+        let batched = sst.range_non_empty_many(&ranges, &io, &stats);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                !sst.scan(lo, hi, 1, &io, &stats).is_empty(),
+                "range [{lo},{hi}]"
+            );
+        }
     }
 }

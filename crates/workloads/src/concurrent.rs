@@ -1,0 +1,291 @@
+//! A concurrent, YCSB-style mixed read/write workload generator.
+//!
+//! The single-stream [`crate::ycsb::YcsbEWorkload`] drives the paper's
+//! sequential system experiments; this module generates the multi-threaded
+//! counterpart for the concurrent-serving experiments: every worker thread
+//! gets its own deterministic operation stream (derived from the base seed
+//! and the thread index) mixing inserts, point reads and range scans in
+//! configurable proportions. Writer keys are partitioned across threads so a
+//! stress harness can assert, after joining, that *every* inserted key is
+//! visible — the zero-false-negative contract of an online filter.
+
+use crate::distributions::{Distribution, Sampler};
+use crate::querygen::RangeQuery;
+use crate::rng::Rng;
+use crate::ycsb::Operation;
+
+/// Configuration of the concurrent mixed workload.
+#[derive(Clone, Debug)]
+pub struct ConcurrentConfig {
+    /// Number of worker threads (one operation stream each).
+    pub num_threads: usize,
+    /// Operations per thread stream.
+    pub ops_per_thread: usize,
+    /// Fraction of point reads in each stream (`0.0..=1.0`).
+    pub read_fraction: f64,
+    /// Fraction of range scans in each stream (`0.0..=1.0`); the remainder
+    /// after reads and scans is inserts.
+    pub scan_fraction: f64,
+    /// Fixed size of every generated scan interval.
+    pub range_size: u64,
+    /// Distribution of keys and query anchors over the 64-bit domain.
+    pub distribution: Distribution,
+    /// Width of the key domain in bits (keys are `< 2^domain_bits`).
+    pub domain_bits: u32,
+    /// Base RNG seed; thread `t` derives its stream from `seed` and `t`.
+    pub seed: u64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        Self {
+            num_threads: 4,
+            ops_per_thread: 10_000,
+            read_fraction: 0.4,
+            scan_fraction: 0.2,
+            range_size: 1 << 10,
+            distribution: Distribution::Uniform,
+            domain_bits: 64,
+            seed: 0xC0_FFEE,
+        }
+    }
+}
+
+/// A fully materialized concurrent workload: one operation stream per thread.
+#[derive(Clone, Debug)]
+pub struct ConcurrentWorkload {
+    /// Per-thread operation streams (`streams.len() == num_threads`).
+    pub streams: Vec<Vec<Operation>>,
+}
+
+impl ConcurrentWorkload {
+    /// Generate the workload described by `config`.
+    ///
+    /// Thread `t` inserts only keys from its own partition (key tagged with
+    /// `t` in the low bits of the distribution draw), so the union of all
+    /// [`ConcurrentWorkload::inserted_keys`] is duplicate-free across
+    /// threads and a post-join reader can check each writer's keys
+    /// independently.
+    pub fn generate(config: &ConcurrentConfig) -> Self {
+        assert!(config.num_threads > 0, "at least one thread");
+        assert!(
+            config.domain_bits >= 64 || (config.num_threads as u128) <= 1u128 << config.domain_bits,
+            "num_threads ({}) must not exceed the {}-bit key domain: the \
+             per-thread partition tag would not fit and writer keys would \
+             collide across threads",
+            config.num_threads,
+            config.domain_bits
+        );
+        assert!(
+            config.read_fraction >= 0.0
+                && config.scan_fraction >= 0.0
+                && config.read_fraction + config.scan_fraction <= 1.0,
+            "read + scan fractions must not exceed 1.0"
+        );
+        let max_key = if config.domain_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.domain_bits) - 1
+        };
+        let streams = (0..config.num_threads)
+            .map(|t| {
+                let stream_seed = config
+                    .seed
+                    .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1));
+                let mut sampler =
+                    Sampler::new(config.distribution, config.domain_bits, stream_seed);
+                let mut rng = Rng::new(stream_seed ^ 0x5EED);
+                (0..config.ops_per_thread)
+                    .map(|_| {
+                        let draw = rng.next_f64();
+                        if draw < config.read_fraction {
+                            Operation::Read(sampler.sample_many(1)[0])
+                        } else if draw < config.read_fraction + config.scan_fraction {
+                            let lo = sampler.sample_many(1)[0];
+                            let hi = lo
+                                .saturating_add(config.range_size.saturating_sub(1))
+                                .min(max_key);
+                            Operation::Scan(RangeQuery { lo, hi })
+                        } else {
+                            // Partition writer keys by thread: replace the low
+                            // bits with the thread index so no two threads
+                            // ever insert the same key. The tag always fits
+                            // the domain (asserted above), so the result
+                            // never exceeds `max_key`.
+                            let bits = partition_bits(config.num_threads);
+                            let raw = sampler.sample_many(1)[0];
+                            Operation::Insert(((raw >> bits) << bits) | t as u64)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { streams }
+    }
+
+    /// Keys inserted by thread `t`'s stream, in stream order.
+    pub fn inserted_keys(&self, t: usize) -> Vec<u64> {
+        self.streams[t]
+            .iter()
+            .filter_map(|op| match op {
+                Operation::Insert(k) => Some(*k),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All inserted keys across every stream.
+    pub fn all_inserted_keys(&self) -> Vec<u64> {
+        (0..self.streams.len())
+            .flat_map(|t| self.inserted_keys(t))
+            .collect()
+    }
+
+    /// Total number of operations across all streams.
+    pub fn total_ops(&self) -> usize {
+        self.streams.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Number of low key bits reserved for the writer-thread partition tag.
+fn partition_bits(num_threads: usize) -> u32 {
+    usize::BITS - num_threads.next_power_of_two().leading_zeros() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_thread() {
+        let config = ConcurrentConfig {
+            num_threads: 4,
+            ops_per_thread: 500,
+            ..Default::default()
+        };
+        let a = ConcurrentWorkload::generate(&config);
+        let b = ConcurrentWorkload::generate(&config);
+        assert_eq!(a.streams, b.streams);
+        assert_eq!(a.total_ops(), 2000);
+        // Streams differ from each other.
+        assert_ne!(a.streams[0], a.streams[1]);
+    }
+
+    #[test]
+    fn fractions_are_respected_approximately() {
+        let config = ConcurrentConfig {
+            num_threads: 2,
+            ops_per_thread: 20_000,
+            read_fraction: 0.5,
+            scan_fraction: 0.25,
+            ..Default::default()
+        };
+        let w = ConcurrentWorkload::generate(&config);
+        for stream in &w.streams {
+            let reads = stream
+                .iter()
+                .filter(|o| matches!(o, Operation::Read(_)))
+                .count() as f64;
+            let scans = stream
+                .iter()
+                .filter(|o| matches!(o, Operation::Scan(_)))
+                .count() as f64;
+            let total = stream.len() as f64;
+            assert!(
+                (reads / total - 0.5).abs() < 0.05,
+                "reads {}",
+                reads / total
+            );
+            assert!(
+                (scans / total - 0.25).abs() < 0.05,
+                "scans {}",
+                scans / total
+            );
+        }
+    }
+
+    #[test]
+    fn writer_keys_are_partitioned_across_threads() {
+        let config = ConcurrentConfig {
+            num_threads: 8,
+            ops_per_thread: 2_000,
+            read_fraction: 0.2,
+            scan_fraction: 0.2,
+            ..Default::default()
+        };
+        let w = ConcurrentWorkload::generate(&config);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..8 {
+            for key in w.inserted_keys(t) {
+                assert_eq!(key & 0x7, t as u64, "partition tag of {key}");
+                assert!(seen.insert(key), "key {key} inserted by two threads");
+            }
+        }
+        assert_eq!(seen.len(), w.all_inserted_keys().len());
+    }
+
+    #[test]
+    fn scans_respect_range_size_and_domain() {
+        let config = ConcurrentConfig {
+            num_threads: 2,
+            ops_per_thread: 3_000,
+            read_fraction: 0.0,
+            scan_fraction: 1.0,
+            range_size: 256,
+            domain_bits: 32,
+            ..Default::default()
+        };
+        let w = ConcurrentWorkload::generate(&config);
+        for stream in &w.streams {
+            for op in stream {
+                match op {
+                    Operation::Scan(q) => {
+                        assert!(q.lo <= q.hi);
+                        assert!(q.len() <= 256);
+                        assert!(q.hi <= u32::MAX as u64);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_threads_for_the_domain_are_rejected() {
+        let config = ConcurrentConfig {
+            num_threads: 8,
+            domain_bits: 2,
+            ops_per_thread: 10,
+            ..Default::default()
+        };
+        let caught = std::panic::catch_unwind(|| ConcurrentWorkload::generate(&config));
+        assert!(
+            caught.is_err(),
+            "8 threads cannot be tagged into a 2-bit domain"
+        );
+        // The boundary case (threads == 2^domain_bits) is fine: every key is
+        // exactly its thread tag.
+        let w = ConcurrentWorkload::generate(&ConcurrentConfig {
+            num_threads: 4,
+            domain_bits: 2,
+            ops_per_thread: 50,
+            read_fraction: 0.0,
+            scan_fraction: 0.0,
+            ..Default::default()
+        });
+        for t in 0..4 {
+            for key in w.inserted_keys(t) {
+                assert_eq!(key, t as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_bits_cover_thread_counts() {
+        assert_eq!(partition_bits(1), 0);
+        assert_eq!(partition_bits(2), 1);
+        assert_eq!(partition_bits(3), 2);
+        assert_eq!(partition_bits(8), 3);
+        assert_eq!(partition_bits(16), 4);
+    }
+}

@@ -9,18 +9,23 @@
 //!   fixed key set (the paper's worst-case "all queries empty" setup).
 //! * [`ycsb`] — the YCSB Workload-E derivative used by the system-level
 //!   experiments (uniform 64-bit keys, 512-byte values, range scans).
+//! * [`concurrent`] — multi-threaded mixed read/write streams (one
+//!   deterministic stream per worker thread, writer keys partitioned by
+//!   thread) for the concurrent-serving experiments and stress tests.
 //! * [`datasets`] — synthetic stand-ins for the NASA Kepler flux series
 //!   (floats, Experiment 5) and the SDSS DR16 two-attribute extract
 //!   (Experiment 6).
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod datasets;
 pub mod distributions;
 pub mod querygen;
 pub mod rng;
 pub mod ycsb;
 
+pub use concurrent::{ConcurrentConfig, ConcurrentWorkload};
 pub use distributions::{Distribution, Sampler};
 pub use querygen::{false_positive_rate, QueryGenerator, RangeQuery};
 pub use rng::Rng;

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use bloomrf::dyadic::canonical_decomposition;
 use bloomrf::traits::{OnlineFilter, PointRangeFilter};
-use bloomrf::{decode_f64, decode_i64, encode_f64, encode_i64, BloomRf};
+use bloomrf::{decode_f64, decode_i64, encode_f64, encode_i64, BloomRf, ShardedBloomRf};
 use bloomrf_filters::{
     BloomFilter, CuckooFilter, RosettaFilter, RosettaVariant, SurfFilter, SurfMode,
 };
@@ -141,6 +141,113 @@ proptest! {
             prop_assert_eq!(
                 filter.contains_range(p, p.saturating_add(1 << 20)),
                 restored.contains_range(p, p.saturating_add(1 << 20))
+            );
+        }
+    }
+
+    /// Truncating or bit-flipping serialized bytes yields an error, never a
+    /// panic and never a silently different filter.
+    #[test]
+    fn bloomrf_corrupted_bytes_are_rejected(
+        keys in prop::collection::vec(any::<u64>(), 1..100),
+        cut_frac in 0.0f64..1.0,
+        flip_pos in any::<u64>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let filter = BloomRf::basic(64, keys.len(), 14.0, 7).unwrap();
+        for &k in &keys {
+            filter.insert(k);
+        }
+        let bytes = filter.to_bytes();
+        // Any strict prefix must fail to decode.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(BloomRf::from_bytes(&bytes[..cut]).is_err());
+        }
+        // A single flipped byte either fails to decode or decodes into a
+        // filter that still answers every stored key positively (flips inside
+        // the bit arrays only ever add or remove probabilistic bits, and the
+        // decoder validates all structural fields).
+        let mut flipped = bytes.clone();
+        let pos = (flip_pos % bytes.len() as u64) as usize;
+        flipped[pos] ^= flip_mask;
+        if let Ok(decoded) = BloomRf::from_bytes(&flipped) {
+            let _ = decoded.contains_range(0, u64::MAX); // must not panic
+        }
+    }
+
+    /// Differential: a sharded filter and the sequential filter built from
+    /// identical inserts return identical answers for every point and range
+    /// probe, for every shard count — and the batch APIs agree element-wise
+    /// with the one-at-a-time APIs on both backends.
+    #[test]
+    fn sharded_and_batched_match_sequential(
+        keys in prop::collection::vec(any::<u64>(), 1..400),
+        probes in prop::collection::vec(any::<u64>(), 1..60),
+        spans in prop::collection::vec(any::<u64>(), 1..60),
+        shards in 1usize..=16,
+    ) {
+        let sequential = BloomRf::basic(64, keys.len(), 12.0, 7).unwrap();
+        let sharded = ShardedBloomRf::basic_sharded(64, keys.len(), 12.0, 7, shards).unwrap();
+        for &k in &keys {
+            sequential.insert(k);
+        }
+        // The sharded filter is loaded through the batch path on purpose:
+        // the comparison then covers sharding *and* batched insertion.
+        sharded.insert_batch(&keys);
+        prop_assert_eq!(sequential.key_count(), sharded.key_count());
+
+        // Bit-identical storage contents...
+        prop_assert_eq!(sequential.snapshot_bits(), sharded.snapshot_bits());
+
+        // ...and answer-identical probes, including degenerate and reversed
+        // ranges and ranges clamped at the domain boundary.
+        let ranges: Vec<(u64, u64)> = probes
+            .iter()
+            .zip(spans.iter())
+            .map(|(&p, &s)| (p, p.saturating_add(s)))
+            .chain(probes.iter().map(|&p| (p, p)))
+            .chain(probes.iter().map(|&p| (p, p.wrapping_sub(1))))
+            .collect();
+        let seq_points = sequential.contains_point_batch(&probes);
+        let shard_points = sharded.contains_point_batch(&probes);
+        for (i, &p) in probes.iter().enumerate() {
+            let want = sequential.contains_point(p);
+            prop_assert_eq!(seq_points[i], want, "sequential batch point {}", p);
+            prop_assert_eq!(shard_points[i], want, "sharded batch point {}", p);
+            prop_assert_eq!(sharded.contains_point(p), want, "sharded point {}", p);
+        }
+        let seq_ranges = sequential.contains_range_batch(&ranges);
+        let shard_ranges = sharded.contains_range_batch(&ranges);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            let want = sequential.contains_range(lo, hi);
+            prop_assert_eq!(seq_ranges[i], want, "sequential batch range [{},{}]", lo, hi);
+            prop_assert_eq!(shard_ranges[i], want, "sharded batch range [{},{}]", lo, hi);
+            prop_assert_eq!(sharded.contains_range(lo, hi), want, "sharded range [{},{}]", lo, hi);
+        }
+    }
+
+    /// The differential invariant also holds for advisor-tuned (extended)
+    /// configurations with replicated hashes, segments and an exact layer.
+    #[test]
+    fn sharded_matches_sequential_on_tuned_configs(
+        keys in prop::collection::vec(any::<u64>(), 1..250),
+        probes in prop::collection::vec(any::<u64>(), 1..50),
+        shards in 1usize..=8,
+    ) {
+        let tuned = bloomrf::TuningAdvisor::tune_for(64, keys.len().max(100), 18.0, 1e8).unwrap();
+        let sequential = BloomRf::new(tuned.config.clone()).unwrap();
+        let sharded = ShardedBloomRf::new_sharded(tuned.config, shards).unwrap();
+        sequential.insert_batch(&keys);
+        sharded.insert_batch(&keys);
+        prop_assert_eq!(sequential.snapshot_bits(), sharded.snapshot_bits());
+        for &p in &probes {
+            prop_assert_eq!(sequential.contains_point(p), sharded.contains_point(p));
+            let hi = p.saturating_add(1 << 33);
+            prop_assert_eq!(
+                sequential.contains_range(p, hi),
+                sharded.contains_range(p, hi),
+                "range [{},{}]", p, hi
             );
         }
     }
