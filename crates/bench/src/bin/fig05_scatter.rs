@@ -11,7 +11,7 @@
 //! comparison is reproduced here.
 
 use bloomrf::hashing::Pmhf;
-use bloomrf::traits::OnlineFilter;
+use bloomrf::traits::ExclusiveOnlineFilter;
 use bloomrf::BloomRf;
 use bloomrf_bench::{ExpScale, Report};
 use bloomrf_filters::BloomFilter;

@@ -3,7 +3,7 @@
 //! and probed with empty range queries of width 10⁻³; FPR and lookup
 //! throughput are reported per space budget.
 
-use bloomrf::{encode_f64, BloomRf};
+use bloomrf::{BloomRf, RangeKey};
 use bloomrf_bench::{mops, sig, timed, ExpScale, Report};
 use bloomrf_workloads::datasets::kepler_like_flux;
 use bloomrf_workloads::Rng;
@@ -45,14 +45,19 @@ fn main() {
     }
 
     for bpk in [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0] {
-        let filter = BloomRf::basic(64, n_values, bpk, 7).expect("config");
-        for &v in &series {
-            filter.insert(encode_f64(v));
-        }
+        // Typed filter: the float codec is applied by the API on both the
+        // insert and the probe side.
+        let filter = BloomRf::builder()
+            .expected_keys(n_values)
+            .bits_per_key(bpk)
+            .key_type::<f64>()
+            .build()
+            .expect("config");
+        filter.insert_batch(&series);
         let mut fp = 0usize;
         let (_, secs) = timed(|| {
             for &(lo, hi) in &queries {
-                if filter.contains_range(encode_f64(lo), encode_f64(hi)) {
+                if filter.contains_range(&lo, &hi) {
                     fp += 1;
                 }
             }
@@ -62,7 +67,7 @@ fn main() {
         let avg_width: f64 = queries
             .iter()
             .take(1000)
-            .map(|&(lo, hi)| (encode_f64(hi) - encode_f64(lo)) as f64)
+            .map(|&(lo, hi)| (hi.to_domain() - lo.to_domain()) as f64)
             .sum::<f64>()
             / 1000.0;
         report.row(&[

@@ -4,26 +4,28 @@
 //! bloomRF filters combined conjunctively. Queries of the form
 //! `Run < 300 AND ObjectID = const` are issued with constants chosen such that
 //! the conjunction is empty; FPR and throughput are compared.
+//!
+//! The concatenation path uses the typed API: a `TypedBloomRf<(u32, u32)>`
+//! packs each pair via the `RangeKey` codec (Sect. 8 concatenation, attribute
+//! A in the high half), and the conjunctive predicate is one typed range
+//! query `[(id, 0), (id, run_threshold - 1)]`.
 
-use bloomrf::encode::{EqAttribute, MultiAttrBloomRf};
 use bloomrf::BloomRf;
 use bloomrf_bench::{mops, sig, timed, ExpScale, Report};
 use bloomrf_workloads::datasets::sdss_like_objects;
 use bloomrf_workloads::Rng;
 
-/// Spread the small Run values over the full 64-bit domain so that the
-/// precision reduction of the multi-attribute filter keeps their order.
-fn run_key(run: u64) -> u64 {
-    // Runs are < ~1500; shift them high enough that the 32-bit precision
-    // reduction keeps them distinct while the Run<300 probe range stays small.
-    run << 40
+/// Order-preserving 32-bit reduction of a 64-bit object id (keep the MSBs),
+/// mirroring the precision reduction of Sect. 8.
+fn id32(object_id: u64) -> u32 {
+    (object_id >> 32) as u32
 }
 
 fn main() {
     let scale = ExpScale::from_env();
     let n_objects = scale.keys(1_000_000);
     let n_queries = scale.queries(50_000);
-    let run_threshold = 300u64;
+    let run_threshold = 300u32;
 
     let objects = sdss_like_objects(n_objects, 0x12F);
     let mut report = Report::new(
@@ -43,7 +45,7 @@ fn main() {
     let mut constants: Vec<u64> = Vec::with_capacity(n_queries);
     let high_run_ids: Vec<u64> = objects
         .iter()
-        .filter(|o| o.run >= run_threshold)
+        .filter(|o| o.run >= run_threshold as u64)
         .map(|o| o.object_id)
         .collect();
     while constants.len() < n_queries {
@@ -55,33 +57,47 @@ fn main() {
     }
 
     for bpk in [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0] {
-        // (a) multi-attribute filter: each tuple is inserted in both orders, so
-        // the per-key budget is split over 2 insertions.
-        let inner = BloomRf::basic(64, n_objects * 2, bpk / 2.0, 7).expect("config");
-        let multi = MultiAttrBloomRf::new(inner, 32);
+        // (a) typed multi-attribute filter: each tuple is inserted in both
+        // concatenation orders, so the per-key budget is split over 2 inserts.
+        let multi = BloomRf::builder()
+            .expected_keys(n_objects * 2)
+            .bits_per_key(bpk / 2.0)
+            .key_type::<(u32, u32)>()
+            .build()
+            .expect("config");
         for o in &objects {
-            multi.insert(run_key(o.run), o.object_id);
+            let (run, id) = (o.run as u32, id32(o.object_id));
+            multi.insert(&(run, id));
+            multi.insert(&(id, run));
         }
         let mut multi_fp = 0usize;
         let (_, multi_secs) = timed(|| {
             for &c in &constants {
-                if multi.may_match(EqAttribute::B, c, 0, run_key(run_threshold) - 1) {
+                if multi.contains_range(&(id32(c), 0), &(id32(c), run_threshold - 1)) {
                     multi_fp += 1;
                 }
             }
         });
 
         // (b) two separate filters on the full-precision attributes.
-        let run_filter = BloomRf::basic(64, n_objects, bpk / 2.0, 7).expect("config");
-        let id_filter = BloomRf::basic(64, n_objects, bpk / 2.0, 7).expect("config");
+        let run_filter = BloomRf::builder()
+            .expected_keys(n_objects)
+            .bits_per_key(bpk / 2.0)
+            .build()
+            .expect("config");
+        let id_filter = BloomRf::builder()
+            .expected_keys(n_objects)
+            .bits_per_key(bpk / 2.0)
+            .build()
+            .expect("config");
         for o in &objects {
-            run_filter.insert(run_key(o.run));
+            run_filter.insert(o.run);
             id_filter.insert(o.object_id);
         }
         let mut separate_fp = 0usize;
         let (_, separate_secs) = timed(|| {
             for &c in &constants {
-                let run_maybe = run_filter.contains_range(0, run_key(run_threshold) - 1);
+                let run_maybe = run_filter.contains_range(0, run_threshold as u64 - 1);
                 let id_maybe = id_filter.contains_point(c);
                 if run_maybe && id_maybe {
                     separate_fp += 1;

@@ -1,0 +1,617 @@
+//! One unified construction surface for every bloomRF variant.
+//!
+//! [`BloomRfBuilder`] collapses the constructor matrix — basic vs.
+//! advisor-tuned, flat vs. sharded storage, `u64` vs. typed keys, fresh vs.
+//! deserialized — behind a single fluent chain:
+//!
+//! ```
+//! use bloomrf::BloomRf;
+//!
+//! // Advisor-tuned, shard-striped, typed over f64 — one chain.
+//! let filter = BloomRf::builder()
+//!     .expected_keys(100_000)
+//!     .bits_per_key(18.0)
+//!     .max_range(1e8)
+//!     .sharded(8)
+//!     .key_type::<f64>()
+//!     .build()
+//!     .unwrap();
+//! filter.insert(&1.25);
+//! assert!(filter.contains_range(&0.0, &2.0));
+//! ```
+//!
+//! The pre-existing constructors ([`BloomRf::new`], [`BloomRf::basic`],
+//! [`crate::ShardedBloomRf::new_sharded`], …) remain as thin delegates for
+//! backwards compatibility; new code should prefer the builder.
+
+use std::marker::PhantomData;
+
+use crate::advisor::TuningAdvisor;
+use crate::bitarray::{AtomicBits, BitStore, ShardedAtomicBits, DEFAULT_SHARDS};
+use crate::config::{BloomRfConfig, RangePolicy};
+use crate::encode::RangeKey;
+use crate::error::{ConfigError, DecodeError};
+use crate::filter::BloomRf;
+use crate::hashing::WordLayout;
+use crate::traits::FilterBuilder;
+use crate::typed::TypedBloomRf;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for crate::bitarray::AtomicBits {}
+    impl Sealed for crate::bitarray::ShardedAtomicBits {}
+}
+
+/// Storage backends the builder knows how to instantiate (sealed: the flat
+/// [`AtomicBits`] and the shard-striped [`ShardedAtomicBits`]).
+pub trait BuildStore: BitStore + sealed::Sealed {
+    /// Create a zeroed store of `bits` bits; `shards` is honoured only by
+    /// sharded backends.
+    fn make(bits: usize, shards: usize) -> Self;
+}
+
+impl BuildStore for AtomicBits {
+    fn make(bits: usize, _shards: usize) -> Self {
+        AtomicBits::new(bits)
+    }
+}
+
+impl BuildStore for ShardedAtomicBits {
+    fn make(bits: usize, shards: usize) -> Self {
+        ShardedAtomicBits::new(bits, shards)
+    }
+}
+
+/// Builder for [`BloomRf`] filters over raw `u64` keys; switch the storage
+/// backend with [`BloomRfBuilder::sharded`] and the key type with
+/// [`BloomRfBuilder::key_type`]. Obtain one via [`BloomRf::builder`].
+///
+/// Unless overridden, the builder produces the tuning-free basic filter
+/// (Sect. 3) for 1 M expected keys at 14 bits/key over the full 64-bit
+/// domain. Setting [`BloomRfBuilder::max_range`] switches to an
+/// advisor-tuned extended configuration (Sect. 7); setting
+/// [`BloomRfBuilder::config`] uses an explicit configuration verbatim.
+#[derive(Clone, Debug)]
+pub struct BloomRfBuilder<S: BuildStore = AtomicBits> {
+    domain_bits: Option<u32>,
+    expected_keys: usize,
+    bits_per_key: f64,
+    delta: u32,
+    max_range: Option<f64>,
+    config: Option<BloomRfConfig>,
+    seed: Option<u64>,
+    range_policy: Option<RangePolicy>,
+    word_layout: Option<WordLayout>,
+    shards: usize,
+    _store: PhantomData<fn() -> S>,
+}
+
+impl Default for BloomRfBuilder<AtomicBits> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BloomRfBuilder<AtomicBits> {
+    /// A builder with the defaults documented on [`BloomRfBuilder`].
+    pub fn new() -> Self {
+        Self {
+            domain_bits: None,
+            expected_keys: 1_000_000,
+            bits_per_key: 14.0,
+            delta: 7,
+            max_range: None,
+            config: None,
+            seed: None,
+            range_policy: None,
+            word_layout: None,
+            shards: DEFAULT_SHARDS,
+            _store: PhantomData,
+        }
+    }
+}
+
+impl<S: BuildStore> BloomRfBuilder<S> {
+    /// Width of the key domain in bits (default: 64, or the key type's
+    /// [`RangeKey::DOMAIN_BITS`] after [`BloomRfBuilder::key_type`]).
+    pub fn domain_bits(mut self, bits: u32) -> Self {
+        self.domain_bits = Some(bits);
+        self
+    }
+
+    /// Expected number of keys `n` the space budget is provisioned for.
+    pub fn expected_keys(mut self, n: usize) -> Self {
+        self.expected_keys = n;
+        self
+    }
+
+    /// Space budget in bits per key.
+    pub fn bits_per_key(mut self, bits: f64) -> Self {
+        self.bits_per_key = bits;
+        self
+    }
+
+    /// Level distance Δ of the basic filter (ignored when
+    /// [`BloomRfBuilder::max_range`] or [`BloomRfBuilder::config`] is set).
+    pub fn delta(mut self, delta: u32) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Approximate maximum query-range size: switches construction to the
+    /// advisor-tuned extended configuration (Sect. 7) for this range.
+    pub fn max_range(mut self, max_range: f64) -> Self {
+        self.max_range = Some(max_range);
+        self
+    }
+
+    /// Use an explicit configuration verbatim (overrides every geometry
+    /// knob; seed / range-policy / word-layout setters still apply).
+    pub fn config(mut self, config: BloomRfConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Override the base hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Behaviour for queries larger than the design range (see
+    /// [`RangePolicy`]).
+    pub fn range_policy(mut self, policy: RangePolicy) -> Self {
+        self.range_policy = Some(policy);
+        self
+    }
+
+    /// Word layout (forward, or alternating for degenerate distributions).
+    pub fn word_layout(mut self, layout: WordLayout) -> Self {
+        self.word_layout = Some(layout);
+        self
+    }
+
+    /// Stripe every memory segment into (at most) `shards` lock-free shards
+    /// ([`ShardedAtomicBits`]); answers stay bit-identical to the flat
+    /// filter.
+    pub fn sharded(self, shards: usize) -> BloomRfBuilder<ShardedAtomicBits> {
+        BloomRfBuilder {
+            domain_bits: self.domain_bits,
+            expected_keys: self.expected_keys,
+            bits_per_key: self.bits_per_key,
+            delta: self.delta,
+            max_range: self.max_range,
+            config: self.config,
+            seed: self.seed,
+            range_policy: self.range_policy,
+            word_layout: self.word_layout,
+            shards,
+            _store: PhantomData,
+        }
+    }
+
+    /// Build a typed filter over keys of type `K` ([`TypedBloomRf`]); the
+    /// domain width defaults to `K::DOMAIN_BITS` unless
+    /// [`BloomRfBuilder::domain_bits`] was set explicitly.
+    pub fn key_type<K: RangeKey>(self) -> TypedBloomRfBuilder<K, S> {
+        TypedBloomRfBuilder {
+            inner: self,
+            _key: PhantomData,
+        }
+    }
+
+    /// Resolve the final configuration this builder describes.
+    fn resolve_config(&self, default_domain: u32) -> Result<BloomRfConfig, ConfigError> {
+        let domain = self.domain_bits.unwrap_or(default_domain);
+        let mut cfg = match &self.config {
+            Some(cfg) => cfg.clone(),
+            None => match self.max_range {
+                Some(range) => {
+                    TuningAdvisor::tune_for(
+                        domain,
+                        self.expected_keys.max(1),
+                        self.bits_per_key,
+                        range,
+                    )?
+                    .config
+                }
+                None => {
+                    BloomRfConfig::basic(domain, self.expected_keys, self.bits_per_key, self.delta)?
+                }
+            },
+        };
+        if let Some(seed) = self.seed {
+            cfg = cfg.with_seed(seed);
+        }
+        if let Some(policy) = self.range_policy {
+            cfg = cfg.with_range_policy(policy);
+        }
+        if let Some(layout) = self.word_layout {
+            cfg = cfg.with_word_layout(layout);
+        }
+        Ok(cfg)
+    }
+
+    /// Instantiate an empty filter from a resolved configuration.
+    fn build_with_domain(&self, default_domain: u32) -> Result<BloomRf<S>, ConfigError> {
+        let cfg = self.resolve_config(default_domain)?;
+        let shards = self.shards;
+        BloomRf::with_store(cfg, |bits| S::make(bits, shards))
+    }
+
+    /// Build the empty filter.
+    pub fn build(self) -> Result<BloomRf<S>, ConfigError> {
+        self.build_with_domain(64)
+    }
+
+    /// Reconstruct a filter from [`BloomRf::to_bytes`] output onto this
+    /// builder's storage backend. The serialized configuration wins over the
+    /// builder's geometry and seed knobs (the bits were written under them);
+    /// the shard count and the *non-serialized* run-time knobs — range
+    /// policy and word layout — are taken from the builder, so a filter
+    /// built with `WordLayout::Alternating` must be restored with
+    /// `.word_layout(WordLayout::Alternating)` to answer correctly (the
+    /// serialized format does not carry it).
+    pub fn from_bytes(self, bytes: &[u8]) -> Result<BloomRf<S>, DecodeError> {
+        let shards = self.shards;
+        let (range_policy, word_layout) = (self.range_policy, self.word_layout);
+        BloomRf::from_bytes_adjusted(
+            bytes,
+            |mut cfg| {
+                if let Some(policy) = range_policy {
+                    cfg = cfg.with_range_policy(policy);
+                }
+                if let Some(layout) = word_layout {
+                    cfg = cfg.with_word_layout(layout);
+                }
+                cfg
+            },
+            |bits| S::make(bits, shards),
+        )
+    }
+}
+
+/// [`BloomRfBuilder`] specialized to a [`RangeKey`] key type; produced by
+/// [`BloomRfBuilder::key_type`], builds a [`TypedBloomRf`].
+#[derive(Clone, Debug)]
+pub struct TypedBloomRfBuilder<K: RangeKey, S: BuildStore = AtomicBits> {
+    inner: BloomRfBuilder<S>,
+    _key: PhantomData<fn(K) -> K>,
+}
+
+impl<K: RangeKey, S: BuildStore> TypedBloomRfBuilder<K, S> {
+    /// See [`BloomRfBuilder::domain_bits`].
+    pub fn domain_bits(mut self, bits: u32) -> Self {
+        self.inner = self.inner.domain_bits(bits);
+        self
+    }
+
+    /// See [`BloomRfBuilder::expected_keys`].
+    pub fn expected_keys(mut self, n: usize) -> Self {
+        self.inner = self.inner.expected_keys(n);
+        self
+    }
+
+    /// See [`BloomRfBuilder::bits_per_key`].
+    pub fn bits_per_key(mut self, bits: f64) -> Self {
+        self.inner = self.inner.bits_per_key(bits);
+        self
+    }
+
+    /// See [`BloomRfBuilder::delta`].
+    pub fn delta(mut self, delta: u32) -> Self {
+        self.inner = self.inner.delta(delta);
+        self
+    }
+
+    /// See [`BloomRfBuilder::max_range`] (in number of domain codes).
+    pub fn max_range(mut self, max_range: f64) -> Self {
+        self.inner = self.inner.max_range(max_range);
+        self
+    }
+
+    /// See [`BloomRfBuilder::config`].
+    pub fn config(mut self, config: BloomRfConfig) -> Self {
+        self.inner = self.inner.config(config);
+        self
+    }
+
+    /// See [`BloomRfBuilder::seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// See [`BloomRfBuilder::range_policy`].
+    pub fn range_policy(mut self, policy: RangePolicy) -> Self {
+        self.inner = self.inner.range_policy(policy);
+        self
+    }
+
+    /// See [`BloomRfBuilder::word_layout`].
+    pub fn word_layout(mut self, layout: WordLayout) -> Self {
+        self.inner = self.inner.word_layout(layout);
+        self
+    }
+
+    /// See [`BloomRfBuilder::sharded`].
+    pub fn sharded(self, shards: usize) -> TypedBloomRfBuilder<K, ShardedAtomicBits> {
+        TypedBloomRfBuilder {
+            inner: self.inner.sharded(shards),
+            _key: PhantomData,
+        }
+    }
+
+    /// Re-target the builder to a different key type.
+    pub fn key_type<K2: RangeKey>(self) -> TypedBloomRfBuilder<K2, S> {
+        TypedBloomRfBuilder {
+            inner: self.inner,
+            _key: PhantomData,
+        }
+    }
+
+    /// Build the empty typed filter; the domain width defaults to
+    /// `K::DOMAIN_BITS`.
+    pub fn build(self) -> Result<TypedBloomRf<K, S>, ConfigError> {
+        Ok(TypedBloomRf::wrap(
+            self.inner.build_with_domain(K::DOMAIN_BITS)?,
+        ))
+    }
+
+    /// Reconstruct a typed filter from [`BloomRf::to_bytes`] /
+    /// [`TypedBloomRf::to_bytes`] output (see [`BloomRfBuilder::from_bytes`]).
+    pub fn from_bytes(self, bytes: &[u8]) -> Result<TypedBloomRf<K, S>, DecodeError> {
+        Ok(TypedBloomRf::wrap(self.inner.from_bytes(bytes)?))
+    }
+}
+
+impl BloomRf {
+    /// Start a [`BloomRfBuilder`] chain — the unified construction surface
+    /// for basic / advisor-tuned, flat / sharded and raw / typed filters.
+    ///
+    /// ```
+    /// use bloomrf::BloomRf;
+    ///
+    /// let filter = BloomRf::builder()
+    ///     .expected_keys(10_000)
+    ///     .bits_per_key(14.0)
+    ///     .build()
+    ///     .unwrap();
+    /// filter.insert(42);
+    /// assert!(filter.contains_range(40, 50));
+    /// ```
+    pub fn builder() -> BloomRfBuilder<AtomicBits> {
+        BloomRfBuilder::new()
+    }
+}
+
+/// The per-SST construction path of the LSM substrate: building a bloomRF
+/// over a key set with a space budget goes through the same [`FilterBuilder`]
+/// trait as every baseline family. Falls back to the basic filter when the
+/// advisor cannot tune for the requested range.
+impl FilterBuilder for BloomRfBuilder<AtomicBits> {
+    type Filter = BloomRf;
+
+    fn family(&self) -> &'static str {
+        if self.max_range.is_some() {
+            "bloomRF"
+        } else {
+            "bloomRF-basic"
+        }
+    }
+
+    fn build(&self, keys: &[u64], bits_per_key: f64) -> BloomRf {
+        let sized = self
+            .clone()
+            .expected_keys(keys.len().max(1))
+            .bits_per_key(bits_per_key);
+        let filter = sized.clone().build().unwrap_or_else(|_| {
+            // The advisor can reject extreme budget/range combinations the
+            // basic construction still handles; never fail the flush path.
+            let mut basic = sized;
+            basic.max_range = None;
+            basic.config = None;
+            basic
+                .build()
+                .expect("basic bloomRF construction cannot fail for valid budgets")
+        });
+        filter.insert_batch(keys);
+        filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LayerSpec;
+
+    #[test]
+    fn builder_defaults_match_the_basic_constructor() {
+        let built = BloomRf::builder()
+            .expected_keys(5000)
+            .bits_per_key(12.0)
+            .build()
+            .unwrap();
+        let basic = BloomRf::basic(64, 5000, 12.0, 7).unwrap();
+        assert_eq!(built.config(), basic.config());
+        for k in [1u64, 99, 1 << 40] {
+            built.insert(k);
+            basic.insert(k);
+        }
+        assert_eq!(built.snapshot_bits(), basic.snapshot_bits());
+    }
+
+    #[test]
+    fn builder_max_range_matches_the_advisor() {
+        let built = BloomRf::builder()
+            .expected_keys(50_000)
+            .bits_per_key(18.0)
+            .max_range(1e8)
+            .build()
+            .unwrap();
+        let tuned = TuningAdvisor::tune_for(64, 50_000, 18.0, 1e8).unwrap();
+        assert_eq!(built.config(), &tuned.config);
+    }
+
+    #[test]
+    fn builder_sharded_and_from_bytes_round_trip() {
+        let flat = BloomRf::builder()
+            .expected_keys(2000)
+            .bits_per_key(14.0)
+            .build()
+            .unwrap();
+        let sharded = BloomRf::builder()
+            .expected_keys(2000)
+            .bits_per_key(14.0)
+            .sharded(4)
+            .build()
+            .unwrap();
+        let keys: Vec<u64> = (0..2000).map(crate::hashing::mix64).collect();
+        flat.insert_batch(&keys);
+        sharded.insert_batch(&keys);
+        assert_eq!(flat.snapshot_bits(), sharded.snapshot_bits());
+        assert!(sharded.shard_count() > 1);
+
+        let restored = BloomRf::builder().from_bytes(&flat.to_bytes()).unwrap();
+        assert_eq!(restored.snapshot_bits(), flat.snapshot_bits());
+        let restored_sharded = BloomRf::builder()
+            .sharded(4)
+            .from_bytes(&flat.to_bytes())
+            .unwrap();
+        assert_eq!(restored_sharded.snapshot_bits(), flat.snapshot_bits());
+    }
+
+    #[test]
+    fn builder_overrides_and_explicit_config() {
+        let cfg = BloomRfConfig::new(
+            48,
+            vec![
+                LayerSpec::new(0, 7, 1, 0),
+                LayerSpec::new(7, 7, 1, 0),
+                LayerSpec::new(14, 7, 1, 0),
+                LayerSpec::new(21, 7, 1, 0),
+                LayerSpec::new(28, 4, 2, 0),
+            ],
+            vec![1 << 16],
+            Some(32),
+            5,
+        )
+        .unwrap();
+        let filter = BloomRf::builder()
+            .config(cfg.clone())
+            .seed(99)
+            .range_policy(RangePolicy::Conservative {
+                max_words_per_layer: 4,
+            })
+            .word_layout(WordLayout::Alternating)
+            .build()
+            .unwrap();
+        assert_eq!(filter.config().hash_seed, 99);
+        assert_eq!(
+            filter.config().range_policy,
+            RangePolicy::Conservative {
+                max_words_per_layer: 4
+            }
+        );
+        assert_eq!(filter.config().word_layout, WordLayout::Alternating);
+        assert_eq!(filter.config().exact_level, cfg.exact_level);
+    }
+
+    #[test]
+    fn key_type_picks_the_codec_domain() {
+        let narrow = BloomRf::builder()
+            .expected_keys(1000)
+            .key_type::<u32>()
+            .build()
+            .unwrap();
+        assert_eq!(narrow.config().domain_bits, 32);
+        narrow.insert(&u32::MAX);
+        assert!(narrow.contains_point(&u32::MAX));
+
+        // An explicit domain_bits wins over the codec default.
+        let wide = BloomRf::builder()
+            .expected_keys(1000)
+            .domain_bits(64)
+            .key_type::<u32>()
+            .build()
+            .unwrap();
+        assert_eq!(wide.config().domain_bits, 64);
+
+        // key_type composes with sharded in either order.
+        let a = BloomRf::builder()
+            .expected_keys(1000)
+            .sharded(4)
+            .key_type::<i64>()
+            .build()
+            .unwrap();
+        let b = BloomRf::builder()
+            .expected_keys(1000)
+            .key_type::<i64>()
+            .sharded(4)
+            .build()
+            .unwrap();
+        a.insert(&-7);
+        b.insert(&-7);
+        assert_eq!(a.inner().snapshot_bits(), b.inner().snapshot_bits());
+    }
+
+    #[test]
+    fn from_bytes_reapplies_the_non_serialized_knobs() {
+        // The wire format carries geometry + seed but not word_layout /
+        // range_policy; the builder must reapply them or an
+        // alternating-layout filter would be restored with forward layout
+        // and return false negatives.
+        let filter = BloomRf::builder()
+            .expected_keys(2000)
+            .bits_per_key(14.0)
+            .word_layout(WordLayout::Alternating)
+            .range_policy(RangePolicy::Conservative {
+                max_words_per_layer: 3,
+            })
+            .build()
+            .unwrap();
+        let keys: Vec<u64> = (0..2000).map(|i| crate::hashing::mix64(i) >> 8).collect();
+        filter.insert_batch(&keys);
+        let restored = BloomRf::builder()
+            .word_layout(WordLayout::Alternating)
+            .range_policy(RangePolicy::Conservative {
+                max_words_per_layer: 3,
+            })
+            .from_bytes(&filter.to_bytes())
+            .unwrap();
+        assert_eq!(restored.config(), filter.config());
+        assert_eq!(restored.config().word_layout, WordLayout::Alternating);
+        for &k in &keys {
+            assert!(restored.contains_point(k), "false negative for {k}");
+        }
+        for i in 0..500u64 {
+            let probe = crate::hashing::mix64(i ^ 0xABCD);
+            assert_eq!(restored.contains_point(probe), filter.contains_point(probe));
+            assert_eq!(
+                restored.contains_range(probe, probe.saturating_add(1 << 20)),
+                filter.contains_range(probe, probe.saturating_add(1 << 20))
+            );
+        }
+        // Without the layout override the restored filter decodes with the
+        // default forward layout and loses keys — the documented caveat.
+        let wrong = BloomRf::builder().from_bytes(&filter.to_bytes()).unwrap();
+        assert_eq!(wrong.config().word_layout, WordLayout::Forward);
+        assert!(
+            keys.iter().any(|&k| !wrong.contains_point(k)),
+            "forward-layout restore of an alternating filter should lose keys"
+        );
+    }
+
+    #[test]
+    fn filter_builder_impl_builds_and_falls_back() {
+        let keys: Vec<u64> = (0..3000).map(crate::hashing::mix64).collect();
+        let builder = BloomRf::builder().max_range(1e6);
+        assert_eq!(FilterBuilder::family(&builder), "bloomRF");
+        let filter = FilterBuilder::build(&builder, &keys, 16.0);
+        for &k in keys.iter().step_by(97) {
+            assert!(filter.contains_point(k));
+        }
+        assert_eq!(filter.key_count(), keys.len() as u64);
+        assert_eq!(FilterBuilder::family(&BloomRf::builder()), "bloomRF-basic");
+    }
+}

@@ -1,6 +1,15 @@
 //! Datatype support (Sect. 8): order-preserving encodings that map floats,
 //! variable-length strings and attribute pairs onto the `u64` domain bloomRF
 //! filters operate on.
+//!
+//! The preferred entry point is the [`RangeKey`] trait: it packages the codec
+//! (`to_domain` / `from_domain`) together with the range-bound semantics of
+//! each key type, so the typed facades ([`crate::TypedBloomRf`] and the LSM
+//! layer's typed store) can expose `insert`/`contains_range` directly in terms
+//! of the key type — making it impossible to insert through one coding and
+//! probe through another. The free functions ([`encode_f64`], [`encode_i64`],
+//! [`encode_string_prefix`], …) remain available as the low-level building
+//! blocks the trait impls delegate to.
 
 use crate::filter::BloomRf;
 
@@ -8,6 +17,22 @@ use crate::filter::BloomRf;
 /// `φ(x) = bits(x) + 2^63` for non-negative values (sign bit 0) and the bitwise
 /// complement of `bits(x)` for negative values. The coding is total-order
 /// preserving: `φ(x) < φ(y) ⇔ x < y` (with `-0.0` and `+0.0` adjacent).
+///
+/// # NaN policy
+///
+/// The coding is defined on **every** bit pattern and realizes exactly the
+/// IEEE-754 `totalOrder` predicate:
+///
+/// * NaNs with a clear sign bit land **above `+∞`** in the domain,
+/// * NaNs with a set sign bit land **below `-∞`**,
+/// * `-0.0` and `+0.0` map to the *adjacent* codes `2^63 - 1` and `2^63`
+///   (so `-0.0 < +0.0` in the domain even though `-0.0 == +0.0` as floats).
+///
+/// Inserting or probing with a NaN is therefore well-defined (it behaves like
+/// a regular key beyond the infinities) but a range query with a NaN bound
+/// covers the NaN band, not a numeric interval — callers that want NaN-free
+/// semantics should filter NaNs before encoding. [`RangeKey`]`for f64`
+/// inherits this exact total order.
 #[inline]
 pub fn encode_f64(value: f64) -> u64 {
     let bits = value.to_bits();
@@ -80,6 +105,207 @@ pub fn encode_string_prefix(s: &[u8]) -> u64 {
 /// Inclusive `u64` bounds for a range query over strings `[lo, hi]`.
 pub fn string_range_bounds(lo: &[u8], hi: &[u8]) -> (u64, u64) {
     (encode_string_prefix(lo), encode_string_prefix(hi) | 0xFF)
+}
+
+/// An order-preserving codec between a key type and the `u64` domain bloomRF
+/// filters operate on (Sect. 8, "Support for further Datatypes").
+///
+/// # Laws
+///
+/// Every implementation upholds:
+///
+/// * **Monotonicity** — `a < b ⇔ a.to_domain() < b.to_domain()` under the
+///   type's documented total order (for floats that is IEEE-754 `totalOrder`;
+///   see [`encode_f64`]). This is what makes typed range queries exact: a
+///   value lies in `[lo, hi]` iff its code lies in `range_bounds(lo, hi)`.
+/// * **Round-trip** — where the codec is invertible,
+///   `K::from_domain(k.to_domain()) == Some(k)`. Non-invertible codecs (byte
+///   strings, which hash their tail) return `None`.
+/// * **Containment** — `k.to_domain()` lies inside `range_bounds(lo, hi)`
+///   whenever `lo <= k <= hi` (byte strings override `range_bounds` so that
+///   this holds for their prefix coding despite the hashed point code).
+///
+/// These laws are enforced by property tests (`tests/typed_api.rs`), and the
+/// typed facades ([`crate::TypedBloomRf`], the LSM layer's typed store)
+/// delegate to the `u64` core through this trait so their answers are
+/// bit-identical to the manual `encode_* + u64` path by construction.
+///
+/// # Example
+///
+/// ```
+/// use bloomrf::encode::RangeKey;
+///
+/// // Floats: IEEE-754 totalOrder, invertible.
+/// assert!((-1.5f64).to_domain() < 2.5f64.to_domain());
+/// assert_eq!(f64::from_domain(2.5f64.to_domain()), Some(2.5));
+///
+/// // Byte strings: 7-byte prefix + hashed tail, range bounds cover prefixes.
+/// let key: &[u8] = b"user_00042_suffix";
+/// let (lo, hi) = <&[u8]>::range_bounds(&b"user_00042".as_slice(), &b"user_00042~".as_slice());
+/// assert!(lo <= key.to_domain() && key.to_domain() <= hi);
+/// ```
+pub trait RangeKey {
+    /// Number of domain bits the codec needs; filters built for this key type
+    /// (e.g. through [`crate::BloomRfBuilder::key_type`]) default to this
+    /// domain width. 64 for every codec except the 32-bit integers.
+    const DOMAIN_BITS: u32;
+
+    /// Order-preserving map into the `u64` filter domain.
+    fn to_domain(&self) -> u64;
+
+    /// Inverse of [`RangeKey::to_domain`] where the codec is invertible;
+    /// `None` for codes outside the codec's image and for non-invertible
+    /// codecs (byte strings).
+    fn from_domain(code: u64) -> Option<Self>
+    where
+        Self: Sized;
+
+    /// Inclusive `u64` domain bounds of the typed range `[lo, hi]`.
+    ///
+    /// The default is `(lo.to_domain(), hi.to_domain())`, which is exact for
+    /// every invertible codec. Byte strings override this with the prefix
+    /// coding of [`string_range_bounds`] so that string-prefix range
+    /// semantics live in one place.
+    fn range_bounds(lo: &Self, hi: &Self) -> (u64, u64) {
+        (lo.to_domain(), hi.to_domain())
+    }
+}
+
+/// Identity codec: `u64` keys are the filter domain.
+impl RangeKey for u64 {
+    const DOMAIN_BITS: u32 = 64;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        *self
+    }
+    #[inline]
+    fn from_domain(code: u64) -> Option<Self> {
+        Some(code)
+    }
+}
+
+/// Sign-flip codec for `i64` (see [`encode_i64`]).
+impl RangeKey for i64 {
+    const DOMAIN_BITS: u32 = 64;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        encode_i64(*self)
+    }
+    #[inline]
+    fn from_domain(code: u64) -> Option<Self> {
+        Some(decode_i64(code))
+    }
+}
+
+/// Widening codec for `u32`; codes stay below `2^32`, so a 32-bit filter
+/// domain suffices.
+impl RangeKey for u32 {
+    const DOMAIN_BITS: u32 = 32;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        *self as u64
+    }
+    #[inline]
+    fn from_domain(code: u64) -> Option<Self> {
+        u32::try_from(code).ok()
+    }
+}
+
+/// Sign-flip codec for `i32`; codes stay below `2^32`.
+impl RangeKey for i32 {
+    const DOMAIN_BITS: u32 = 32;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        ((*self as u32) ^ (1u32 << 31)) as u64
+    }
+    #[inline]
+    fn from_domain(code: u64) -> Option<Self> {
+        u32::try_from(code).ok().map(|c| (c ^ (1u32 << 31)) as i32)
+    }
+}
+
+/// Monotone float codec (see [`encode_f64`]); the total order is IEEE-754
+/// `totalOrder`, so NaNs are ordinary keys beyond the infinities.
+impl RangeKey for f64 {
+    const DOMAIN_BITS: u32 = 64;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        encode_f64(*self)
+    }
+    #[inline]
+    fn from_domain(code: u64) -> Option<Self> {
+        Some(decode_f64(code))
+    }
+}
+
+/// `f32` codec: widened to `f64` (see [`encode_f32`]), so `f32` and `f64`
+/// keys share one filter domain. `from_domain` rejects codes that did not
+/// come from an `f32`.
+impl RangeKey for f32 {
+    const DOMAIN_BITS: u32 = 64;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        encode_f32(*self)
+    }
+    #[inline]
+    fn from_domain(code: u64) -> Option<Self> {
+        let wide = decode_f64(code);
+        let narrow = wide as f32;
+        ((narrow as f64).to_bits() == wide.to_bits()).then_some(narrow)
+    }
+}
+
+/// Byte-string codec: points use [`encode_string_point`] (7-byte prefix plus
+/// a hashed tail byte), ranges use the prefix coding of
+/// [`string_range_bounds`]. Not invertible — `from_domain` is always `None`.
+impl RangeKey for &[u8] {
+    const DOMAIN_BITS: u32 = 64;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        encode_string_point(self)
+    }
+    #[inline]
+    fn from_domain(_code: u64) -> Option<Self> {
+        None
+    }
+    #[inline]
+    fn range_bounds(lo: &Self, hi: &Self) -> (u64, u64) {
+        string_range_bounds(lo, hi)
+    }
+}
+
+/// Owned byte-string codec; same coding as `&[u8]`.
+impl RangeKey for Vec<u8> {
+    const DOMAIN_BITS: u32 = 64;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        encode_string_point(self)
+    }
+    #[inline]
+    fn from_domain(_code: u64) -> Option<Self> {
+        None
+    }
+    #[inline]
+    fn range_bounds(lo: &Self, hi: &Self) -> (u64, u64) {
+        string_range_bounds(lo, hi)
+    }
+}
+
+/// Two-attribute codec (Sect. 8, "Multi-Attribute bloomRF"): the pair is the
+/// concatenation `<A, B>` with `A` in the high 32 bits. A conjunctive
+/// predicate `A = a AND B ∈ [lo, hi]` is a single typed range query
+/// `[(a, lo), (a, hi)]`; insert both orders (`(a, b)` and `(b, a)`) to answer
+/// equality on either attribute, as [`MultiAttrBloomRf`] does internally.
+impl RangeKey for (u32, u32) {
+    const DOMAIN_BITS: u32 = 64;
+    #[inline]
+    fn to_domain(&self) -> u64 {
+        ((self.0 as u64) << 32) | self.1 as u64
+    }
+    #[inline]
+    fn from_domain(code: u64) -> Option<Self> {
+        Some(((code >> 32) as u32, code as u32))
+    }
 }
 
 /// Reduce a 64-bit attribute value to `bits` of precision (keeping the most
@@ -203,6 +429,71 @@ mod tests {
         // Strictly monotone for distinct values other than ±0.
         assert!(encode_f64(-1.0) < encode_f64(1.0));
         assert!(encode_f64(1.0) < encode_f64(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn f64_nan_policy_is_ieee_total_order() {
+        // The documented NaN policy: sign-clear NaNs above +inf, sign-set
+        // NaNs below -inf — exactly IEEE-754 totalOrder.
+        let pos_nan = f64::NAN.abs();
+        let neg_nan = -f64::NAN.abs();
+        assert!(encode_f64(f64::INFINITY) < encode_f64(pos_nan));
+        assert!(encode_f64(neg_nan) < encode_f64(f64::NEG_INFINITY));
+        assert!(encode_f64(neg_nan) < encode_f64(pos_nan));
+        // NaN codes round-trip bit-exactly like every other pattern.
+        assert_eq!(decode_f64(encode_f64(pos_nan)).to_bits(), pos_nan.to_bits());
+        assert_eq!(decode_f64(encode_f64(neg_nan)).to_bits(), neg_nan.to_bits());
+        // Infinities sit strictly outside every finite value.
+        assert!(encode_f64(f64::MAX) < encode_f64(f64::INFINITY));
+        assert!(encode_f64(f64::NEG_INFINITY) < encode_f64(f64::MIN));
+        // -0.0 and +0.0 occupy adjacent codes around 2^63.
+        assert_eq!(encode_f64(-0.0), (1u64 << 63) - 1);
+        assert_eq!(encode_f64(0.0), 1u64 << 63);
+        assert_eq!(encode_f64(0.0), encode_f64(-0.0) + 1);
+        // RangeKey for f64 inherits the same order verbatim.
+        assert_eq!(pos_nan.to_domain(), encode_f64(pos_nan));
+        assert!(f64::INFINITY.to_domain() < pos_nan.to_domain());
+        assert!((-0.0f64).to_domain() < 0.0f64.to_domain());
+    }
+
+    #[test]
+    fn range_key_impls_are_monotone_and_roundtrip() {
+        // u64 is the identity.
+        assert_eq!(7u64.to_domain(), 7);
+        assert_eq!(u64::from_domain(7), Some(7));
+        // i64 / i32 sign flips.
+        assert!((-3i64).to_domain() < 4i64.to_domain());
+        assert_eq!(i64::from_domain((-3i64).to_domain()), Some(-3));
+        assert!((-3i32).to_domain() < 4i32.to_domain());
+        assert_eq!(i32::from_domain(i32::MIN.to_domain()), Some(i32::MIN));
+        assert_eq!(i32::MIN.to_domain(), 0);
+        assert_eq!(i32::MAX.to_domain(), u32::MAX as u64);
+        // 32-bit codecs fit a 32-bit domain.
+        assert_eq!(<u32 as RangeKey>::DOMAIN_BITS, 32);
+        assert_eq!(<i32 as RangeKey>::DOMAIN_BITS, 32);
+        assert!(u32::MAX.to_domain() <= u32::MAX as u64);
+        assert_eq!(u32::from_domain(1 << 40), None, "code outside u32 image");
+        // f32 widens to the f64 coding and rejects non-f32 codes.
+        assert_eq!(1.5f32.to_domain(), encode_f64(1.5));
+        assert_eq!(f32::from_domain(1.5f32.to_domain()), Some(1.5));
+        assert_eq!(f32::from_domain(encode_f64(1.0 + f64::EPSILON)), None);
+        // Pair concatenation: lexicographic order, invertible.
+        assert!((1u32, u32::MAX).to_domain() < (2u32, 0u32).to_domain());
+        assert_eq!(
+            <(u32, u32)>::from_domain((3u32, 9u32).to_domain()),
+            Some((3, 9))
+        );
+        // Byte strings: point code inside own range bounds, not invertible.
+        let s: &[u8] = b"prefix__one";
+        let (lo, hi) = <&[u8]>::range_bounds(&s, &s);
+        assert!(lo <= s.to_domain() && s.to_domain() <= hi);
+        assert_eq!(<&[u8]>::from_domain(s.to_domain()), None);
+        let v = s.to_vec();
+        assert_eq!(v.to_domain(), s.to_domain());
+        assert_eq!(
+            <Vec<u8>>::range_bounds(&b"a".to_vec(), &b"b".to_vec()),
+            string_range_bounds(b"a", b"b")
+        );
     }
 
     #[test]

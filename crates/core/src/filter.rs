@@ -119,11 +119,17 @@ enum RangeInit {
 impl BloomRf {
     /// Build an empty filter from a validated configuration, backed by flat
     /// atomic bit arrays.
+    ///
+    /// Thin delegate kept for compatibility; prefer
+    /// [`BloomRf::builder`]`().config(..).build()`.
     pub fn new(config: BloomRfConfig) -> Result<Self, ConfigError> {
         Self::with_store(config, AtomicBits::new)
     }
 
     /// Convenience constructor for the basic, tuning-free filter (Sect. 3).
+    ///
+    /// Thin delegate kept for compatibility; prefer [`BloomRf::builder`]
+    /// (`BloomRf::builder().domain_bits(..).expected_keys(..).bits_per_key(..).build()`).
     pub fn basic(
         domain_bits: u32,
         n_keys: usize,
@@ -139,23 +145,28 @@ impl BloomRf {
     }
 
     /// Reconstruct a filter from [`BloomRf::to_bytes`] output.
+    ///
+    /// Thin delegate kept for compatibility; prefer
+    /// [`BloomRf::builder`]`().from_bytes(..)`.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
-        let (config, key_count, arrays) = decode_parts(bytes)?;
-        let filter = Self::new(config)?;
-        filter.restore_arrays(&arrays)?;
-        filter.key_count.store(key_count, Ordering::Relaxed);
-        Ok(filter)
+        Self::from_bytes_with(bytes, AtomicBits::new)
     }
 }
 
 impl ShardedBloomRf {
     /// Build an empty sharded filter: every segment (and the exact-layer
     /// bitmap, if any) is striped into (at most) `shards` lock-free shards.
+    ///
+    /// Thin delegate kept for compatibility; prefer
+    /// [`BloomRf::builder`]`().config(..).sharded(..).build()`.
     pub fn new_sharded(config: BloomRfConfig, shards: usize) -> Result<Self, ConfigError> {
         Self::with_store(config, |bits| ShardedAtomicBits::new(bits, shards))
     }
 
     /// Sharded counterpart of [`BloomRf::basic`].
+    ///
+    /// Thin delegate kept for compatibility; prefer [`BloomRf::builder`]
+    /// with [`crate::BloomRfBuilder::sharded`].
     pub fn basic_sharded(
         domain_bits: u32,
         n_keys: usize,
@@ -171,12 +182,11 @@ impl ShardedBloomRf {
 
     /// Reconstruct a sharded filter from [`BloomRf::to_bytes`] output (the
     /// serialized format is backend-independent).
+    ///
+    /// Thin delegate kept for compatibility; prefer
+    /// [`BloomRf::builder`]`().sharded(..).from_bytes(..)`.
     pub fn from_bytes_sharded(bytes: &[u8], shards: usize) -> Result<Self, DecodeError> {
-        let (config, key_count, arrays) = decode_parts(bytes)?;
-        let filter = Self::new_sharded(config, shards)?;
-        filter.restore_arrays(&arrays)?;
-        filter.key_count.store(key_count, Ordering::Relaxed);
-        Ok(filter)
+        Self::from_bytes_with(bytes, |bits| ShardedAtomicBits::new(bits, shards))
     }
 
     /// Shard count of the first probabilistic segment (segments smaller than
@@ -232,6 +242,34 @@ impl<S: BitStore> BloomRf<S> {
             exact,
             key_count: AtomicU64::new(0),
         })
+    }
+
+    /// Reconstruct a filter from [`BloomRf::to_bytes`] output onto the
+    /// storage backend produced by `make_store` (the serialized format is
+    /// backend-independent). The builder's
+    /// [`crate::BloomRfBuilder::from_bytes`] routes through this.
+    pub fn from_bytes_with(
+        bytes: &[u8],
+        make_store: impl Fn(usize) -> S,
+    ) -> Result<Self, DecodeError> {
+        Self::from_bytes_adjusted(bytes, |cfg| cfg, make_store)
+    }
+
+    /// [`BloomRf::from_bytes_with`] with a hook to adjust the decoded
+    /// configuration before the filter is instantiated. The serialized
+    /// format does not carry the run-time knobs (`range_policy`,
+    /// `word_layout`), so the builder reapplies them here — the geometry
+    /// and seed must stay as decoded or the restored bits become garbage.
+    pub(crate) fn from_bytes_adjusted(
+        bytes: &[u8],
+        adjust: impl FnOnce(BloomRfConfig) -> BloomRfConfig,
+        make_store: impl Fn(usize) -> S,
+    ) -> Result<Self, DecodeError> {
+        let (config, key_count, arrays) = decode_parts(bytes)?;
+        let filter = Self::with_store(adjust(config), make_store)?;
+        filter.restore_arrays(&arrays)?;
+        filter.key_count.store(key_count, Ordering::Relaxed);
+        Ok(filter)
     }
 
     /// The configuration this filter was built from.
@@ -925,10 +963,10 @@ impl<S: BitStore> PointRangeFilter for BloomRf<S> {
 }
 
 impl<S: BitStore> OnlineFilter for BloomRf<S> {
-    fn insert(&mut self, key: u64) {
+    fn insert(&self, key: u64) {
         BloomRf::insert(self, key);
     }
-    fn insert_all(&mut self, keys: &[u64]) {
+    fn insert_all(&self, keys: &[u64]) {
         BloomRf::insert_batch(self, keys);
     }
 }

@@ -54,12 +54,32 @@
 //! filter.insert(123_456_789);
 //! assert!(filter.contains_range(0, 1_000_000_000));
 //! ```
+//!
+//! ## Typed keys and the unified builder
+//!
+//! The Sect. 8 datatype codings are packaged as the [`encode::RangeKey`]
+//! trait; [`BloomRf::builder`] is the single construction surface for
+//! basic / advisor-tuned, flat / sharded and raw / typed filters:
+//!
+//! ```
+//! use bloomrf::BloomRf;
+//!
+//! let filter = BloomRf::builder()
+//!     .expected_keys(100_000)
+//!     .bits_per_key(16.0)
+//!     .key_type::<f64>()
+//!     .build()
+//!     .unwrap();
+//! filter.insert(&-12.5);
+//! assert!(filter.contains_range(&-20.0, &0.0));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod advisor;
 pub mod bitarray;
+pub mod builder;
 pub mod config;
 pub mod dyadic;
 pub mod encode;
@@ -68,11 +88,14 @@ pub mod filter;
 pub mod hashing;
 pub mod model;
 pub mod traits;
+pub mod typed;
 
 pub use advisor::{AdvisorParams, TunedConfig, TuningAdvisor};
 pub use bitarray::{AtomicBits, BitStore, ShardedAtomicBits};
+pub use builder::{BloomRfBuilder, BuildStore, TypedBloomRfBuilder};
 pub use config::{BloomRfConfig, LayerSpec, RangePolicy};
-pub use encode::{decode_f64, decode_i64, encode_f64, encode_i64, MultiAttrBloomRf};
+pub use encode::{decode_f64, decode_i64, encode_f64, encode_i64, MultiAttrBloomRf, RangeKey};
 pub use error::{ConfigError, DecodeError};
 pub use filter::{BloomRf, ProbeStats, ShardedBloomRf};
-pub use traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+pub use traits::{ExclusiveOnlineFilter, FilterBuilder, Locked, OnlineFilter, PointRangeFilter};
+pub use typed::{TypedBloomRf, TypedShardedBloomRf};

@@ -43,10 +43,35 @@ pub trait PointRangeFilter: Send + Sync {
     }
 }
 
-/// A filter that supports online insertion (bloomRF, Bloom, Prefix-Bloom,
-/// Rosetta, Cuckoo, fence pointers). SuRF is built offline from sorted keys
-/// and only implements [`StaticFilterBuilder`].
+/// A filter that supports *concurrent* online insertion through a shared
+/// reference (bloomRF: its bit arrays are atomic, so `insert` takes `&self`
+/// and may run while lookups are in flight — the property Experiment 4 of
+/// the paper evaluates).
+///
+/// Baseline filters whose insertion needs exclusive access implement
+/// [`ExclusiveOnlineFilter`] instead; wrap them in [`Locked`] to obtain this
+/// trait (at the cost of a lock). SuRF is built offline from sorted keys and
+/// implements neither.
 pub trait OnlineFilter: PointRangeFilter {
+    /// Insert a key. Duplicate inserts are permitted and idempotent from the
+    /// caller's perspective.
+    fn insert(&self, key: u64);
+
+    /// Bulk-insert convenience; concurrent filters with a batched probe
+    /// engine (bloomRF) override this with their batch path.
+    fn insert_all(&self, keys: &[u64]) {
+        for &k in keys {
+            self.insert(k);
+        }
+    }
+}
+
+/// A filter that supports online insertion but requires exclusive access
+/// (the single-threaded baselines: Bloom, Prefix-Bloom, Rosetta, Cuckoo).
+///
+/// The compat path to the shared-reference [`OnlineFilter`] world is
+/// [`Locked`], which serializes inserts behind an `RwLock`.
+pub trait ExclusiveOnlineFilter: PointRangeFilter {
     /// Insert a key. Duplicate inserts are permitted and idempotent from the
     /// caller's perspective.
     fn insert(&mut self, key: u64);
@@ -56,6 +81,98 @@ pub trait OnlineFilter: PointRangeFilter {
         for &k in keys {
             self.insert(k);
         }
+    }
+}
+
+/// Adapter that lifts an [`ExclusiveOnlineFilter`] into the shared-reference
+/// [`OnlineFilter`] world by serializing inserts behind an `RwLock` (reads
+/// take the shared lock, inserts the exclusive one).
+///
+/// This is the compat path for the `&mut self` baselines: it lets them flow
+/// through APIs — and trait objects — written against `&dyn OnlineFilter`,
+/// at the cost of lock traffic that the genuinely concurrent filters
+/// (bloomRF) don't pay.
+///
+/// ```
+/// use bloomrf::traits::{ExclusiveOnlineFilter, Locked, OnlineFilter};
+/// # use bloomrf::traits::PointRangeFilter;
+/// # struct Toy(Vec<u64>);
+/// # impl PointRangeFilter for Toy {
+/// #     fn name(&self) -> &'static str { "toy" }
+/// #     fn may_contain(&self, key: u64) -> bool { self.0.contains(&key) }
+/// #     fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+/// #         self.0.iter().any(|&k| k >= lo && k <= hi)
+/// #     }
+/// #     fn memory_bits(&self) -> usize { 64 * self.0.len() }
+/// # }
+/// # impl ExclusiveOnlineFilter for Toy {
+/// #     fn insert(&mut self, key: u64) { self.0.push(key); }
+/// # }
+/// let shared = Locked::new(Toy(Vec::new()));
+/// let dyn_filter: &dyn OnlineFilter = &shared;
+/// dyn_filter.insert(42); // shared-reference insertion through the trait object
+/// assert!(dyn_filter.may_contain(42));
+/// ```
+#[derive(Debug)]
+pub struct Locked<F> {
+    inner: std::sync::RwLock<F>,
+}
+
+impl<F: ExclusiveOnlineFilter> Locked<F> {
+    /// Wrap an exclusive filter for shared-reference insertion.
+    pub fn new(filter: F) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(filter),
+        }
+    }
+
+    /// Unwrap back into the exclusive filter.
+    pub fn into_inner(self) -> F {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, F> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, F> {
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<F: ExclusiveOnlineFilter> PointRangeFilter for Locked<F> {
+    fn name(&self) -> &'static str {
+        self.read().name()
+    }
+    fn may_contain(&self, key: u64) -> bool {
+        self.read().may_contain(key)
+    }
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        self.read().may_contain_range(lo, hi)
+    }
+    fn memory_bits(&self) -> usize {
+        self.read().memory_bits()
+    }
+    fn may_contain_batch(&self, keys: &[u64]) -> Vec<bool> {
+        self.read().may_contain_batch(keys)
+    }
+    fn may_contain_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
+        self.read().may_contain_range_batch(ranges)
+    }
+}
+
+impl<F: ExclusiveOnlineFilter> OnlineFilter for Locked<F> {
+    fn insert(&self, key: u64) {
+        self.write().insert(key);
+    }
+    fn insert_all(&self, keys: &[u64]) {
+        self.write().insert_all(keys);
     }
 }
 
@@ -119,7 +236,7 @@ mod tests {
             self.keys.len() * 64
         }
     }
-    impl OnlineFilter for CountingFilter {
+    impl ExclusiveOnlineFilter for CountingFilter {
         fn insert(&mut self, key: u64) {
             self.keys.push(key);
         }
@@ -133,5 +250,32 @@ mod tests {
         assert!(!f.may_contain(5));
         assert!(f.may_contain_range(3, 10));
         assert!(!f.may_contain_range(4, 10));
+    }
+
+    #[test]
+    fn locked_lifts_exclusive_filters_to_shared_insertion() {
+        let locked = Locked::new(CountingFilter { keys: vec![] });
+        // Shared-reference insertion, also through the trait object.
+        locked.insert(1);
+        let dyn_filter: &dyn OnlineFilter = &locked;
+        dyn_filter.insert(2);
+        dyn_filter.insert_all(&[3, 4]);
+        assert_eq!(dyn_filter.name(), "counting");
+        assert!(dyn_filter.may_contain(1) && dyn_filter.may_contain(4));
+        assert_eq!(dyn_filter.may_contain_batch(&[2, 9]), vec![true, false]);
+        assert_eq!(
+            dyn_filter.may_contain_range_batch(&[(0, 10), (5, 10)]),
+            vec![true, false]
+        );
+        assert_eq!(locked.memory_bits(), 4 * 64);
+        // Concurrent use compiles and behaves: writers and readers share &self.
+        std::thread::scope(|s| {
+            s.spawn(|| locked.insert(100));
+            s.spawn(|| {
+                let _ = locked.may_contain(1);
+            });
+        });
+        let inner = locked.into_inner();
+        assert!(inner.may_contain(100));
     }
 }

@@ -8,7 +8,7 @@
 
 use bloomrf::bitarray::BitVec;
 use bloomrf::hashing::{double_hash, mix64};
-use bloomrf::traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+use bloomrf::traits::{ExclusiveOnlineFilter, FilterBuilder, PointRangeFilter};
 
 /// A standard Bloom filter over `u64` keys.
 #[derive(Clone, Debug)]
@@ -105,7 +105,7 @@ impl PointRangeFilter for BloomFilter {
     }
 }
 
-impl OnlineFilter for BloomFilter {
+impl ExclusiveOnlineFilter for BloomFilter {
     fn insert(&mut self, key: u64) {
         self.insert_key(key);
     }

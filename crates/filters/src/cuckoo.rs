@@ -4,7 +4,7 @@
 //! ~95 % occupancy as in the evaluation.
 
 use bloomrf::hashing::mix64;
-use bloomrf::traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+use bloomrf::traits::{ExclusiveOnlineFilter, FilterBuilder, PointRangeFilter};
 
 const SLOTS_PER_BUCKET: usize = 4;
 const MAX_KICKS: usize = 500;
@@ -173,7 +173,7 @@ impl PointRangeFilter for CuckooFilter {
     }
 }
 
-impl OnlineFilter for CuckooFilter {
+impl ExclusiveOnlineFilter for CuckooFilter {
     fn insert(&mut self, key: u64) {
         let _ = self.insert_key(key);
     }

@@ -35,7 +35,7 @@ pub use rosetta::{RosettaBuilder, RosettaFilter, RosettaVariant};
 pub use surf::{SurfBuilder, SurfFilter, SurfMode};
 
 use bloomrf::traits::{FilterBuilder, PointRangeFilter};
-use bloomrf::{BloomRf, TuningAdvisor};
+use bloomrf::BloomRf;
 
 /// A dynamically-dispatched filter family, used by the LSM substrate and the
 /// benchmark harness to sweep over all competitors uniformly.
@@ -102,49 +102,45 @@ impl FilterKind {
 
     /// Build a filter of this family over `keys` with roughly `bits_per_key`
     /// bits per key.
+    ///
+    /// Every family — bloomRF included — routes through its
+    /// [`FilterBuilder`] impl, so this is a dynamic dispatch table over the
+    /// per-family builders rather than a second construction path. The
+    /// bloomRF arms use the unified [`bloomrf::BloomRfBuilder`] (which falls
+    /// back to the basic filter when the advisor cannot tune for the
+    /// requested range).
     pub fn build(&self, keys: &[u64], bits_per_key: f64) -> Box<dyn PointRangeFilter> {
+        fn boxed<B: FilterBuilder>(
+            builder: B,
+            keys: &[u64],
+            bits_per_key: f64,
+        ) -> Box<dyn PointRangeFilter>
+        where
+            B::Filter: 'static,
+        {
+            Box::new(builder.build(keys, bits_per_key))
+        }
         match *self {
             FilterKind::BloomRf { max_range } => {
-                let filter =
-                    match TuningAdvisor::tune_for(64, keys.len().max(1), bits_per_key, max_range)
-                        .and_then(|t| BloomRf::new(t.config))
-                    {
-                        Ok(f) => f,
-                        Err(_) => BloomRf::basic(64, keys.len().max(1), bits_per_key, 7)
-                            .expect("basic bloomRF construction cannot fail for valid budgets"),
-                    };
-                for &k in keys {
-                    filter.insert(k);
-                }
-                Box::new(filter)
+                boxed(BloomRf::builder().max_range(max_range), keys, bits_per_key)
             }
-            FilterKind::BloomRfBasic => {
-                let filter = BloomRf::basic(64, keys.len().max(1), bits_per_key, 7)
-                    .expect("basic bloomRF construction cannot fail for valid budgets");
-                for &k in keys {
-                    filter.insert(k);
-                }
-                Box::new(filter)
-            }
-            FilterKind::Rosetta { max_range } => Box::new(
+            FilterKind::BloomRfBasic => boxed(BloomRf::builder(), keys, bits_per_key),
+            FilterKind::Rosetta { max_range } => boxed(
                 RosettaBuilder {
                     max_range,
                     variant: RosettaVariant::FirstCut,
-                }
-                .build(keys, bits_per_key),
+                },
+                keys,
+                bits_per_key,
             ),
-            FilterKind::Surf => {
-                Box::new(SurfBuilder { hash_suffix: false }.build(keys, bits_per_key))
-            }
-            FilterKind::SurfHash => {
-                Box::new(SurfBuilder { hash_suffix: true }.build(keys, bits_per_key))
-            }
-            FilterKind::Bloom => Box::new(BloomFilterBuilder.build(keys, bits_per_key)),
+            FilterKind::Surf => boxed(SurfBuilder { hash_suffix: false }, keys, bits_per_key),
+            FilterKind::SurfHash => boxed(SurfBuilder { hash_suffix: true }, keys, bits_per_key),
+            FilterKind::Bloom => boxed(BloomFilterBuilder, keys, bits_per_key),
             FilterKind::PrefixBloom { prefix_shift } => {
-                Box::new(PrefixBloomBuilder { prefix_shift }.build(keys, bits_per_key))
+                boxed(PrefixBloomBuilder { prefix_shift }, keys, bits_per_key)
             }
-            FilterKind::FencePointers => Box::new(FencePointersBuilder.build(keys, bits_per_key)),
-            FilterKind::Cuckoo => Box::new(CuckooFilterBuilder.build(keys, bits_per_key)),
+            FilterKind::FencePointers => boxed(FencePointersBuilder, keys, bits_per_key),
+            FilterKind::Cuckoo => boxed(CuckooFilterBuilder, keys, bits_per_key),
         }
     }
 

@@ -5,7 +5,7 @@
 //! ranges spanning many prefixes quickly become expensive or unprunable.
 
 use bloomrf::hashing::shr;
-use bloomrf::traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+use bloomrf::traits::{ExclusiveOnlineFilter, FilterBuilder, PointRangeFilter};
 
 use crate::bloom::BloomFilter;
 
@@ -76,7 +76,7 @@ impl PointRangeFilter for PrefixBloomFilter {
     }
 }
 
-impl OnlineFilter for PrefixBloomFilter {
+impl ExclusiveOnlineFilter for PrefixBloomFilter {
     fn insert(&mut self, key: u64) {
         self.insert_key(key);
     }

@@ -13,7 +13,7 @@
 
 use bloomrf::dyadic::{canonical_decomposition, DyadicInterval};
 use bloomrf::hashing::shr;
-use bloomrf::traits::{FilterBuilder, OnlineFilter, PointRangeFilter};
+use bloomrf::traits::{ExclusiveOnlineFilter, FilterBuilder, PointRangeFilter};
 
 use crate::bloom::BloomFilter;
 
@@ -194,7 +194,7 @@ impl PointRangeFilter for RosettaFilter {
     }
 }
 
-impl OnlineFilter for RosettaFilter {
+impl ExclusiveOnlineFilter for RosettaFilter {
     fn insert(&mut self, key: u64) {
         self.insert_key(key);
     }

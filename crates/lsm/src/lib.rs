@@ -15,6 +15,10 @@
 //! * [`db::Db`] — level-0-only LSM store: put / get / scan /
 //!   range-emptiness, with per-query statistics (filter probes, simulated I/O
 //!   wait, residual CPU) feeding the cost-breakdown experiment (Fig. 12.G).
+//! * [`typed::TypedDb`] — the same store over any
+//!   [`bloomrf::encode::RangeKey`] key type (floats, signed integers, byte
+//!   strings, attribute pairs), delegating to the `u64` core through the
+//!   codec.
 //! * [`stats`] — the simulated I/O cost model and read-path counters.
 //!
 //! Substitution note (see DESIGN.md): SST blocks live in memory and block
@@ -29,8 +33,10 @@ pub mod db;
 pub mod memtable;
 pub mod sst;
 pub mod stats;
+pub mod typed;
 
 pub use db::{Db, DbOptions};
 pub use memtable::MemTable;
 pub use sst::SsTable;
 pub use stats::{IoModel, ReadStats, ReadStatsSnapshot};
+pub use typed::TypedDb;

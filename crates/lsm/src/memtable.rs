@@ -41,16 +41,24 @@ impl MemTable {
         self.entries.read().get(&key).cloned()
     }
 
-    /// Smallest entry with key in `[lo, hi]`, if any.
+    /// Smallest entry with key in `[lo, hi]`, if any. Reversed bounds are an
+    /// empty interval (`BTreeMap::range` would panic on them).
     pub fn first_in_range(&self, lo: u64, hi: u64) -> Option<(u64, Vec<u8>)> {
+        if lo > hi {
+            return None;
+        }
         let map = self.entries.read();
         map.range((Bound::Included(lo), Bound::Included(hi)))
             .next()
             .map(|(k, v)| (*k, v.clone()))
     }
 
-    /// All entries with keys in `[lo, hi]`, up to `limit`.
+    /// All entries with keys in `[lo, hi]`, up to `limit`. Reversed bounds
+    /// are an empty interval.
     pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        if lo > hi {
+            return Vec::new();
+        }
         let map = self.entries.read();
         map.range((Bound::Included(lo), Bound::Included(hi)))
             .take(limit)

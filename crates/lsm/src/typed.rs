@@ -1,0 +1,226 @@
+//! A typed facade over the LSM store: keys of any [`RangeKey`] type.
+//!
+//! [`TypedDb`] pairs a [`Db`] with an order-preserving codec so that
+//! `put`/`get`/`scan` and the batched read paths are expressed directly in
+//! the key type — the same misuse-proofing the filter layer gets from
+//! [`bloomrf::TypedBloomRf`]. Every method delegates to the `u64` store
+//! through [`RangeKey::to_domain`] / [`RangeKey::range_bounds`], so a typed
+//! store answers identically to the manual `encode_* + u64` path by
+//! construction (proven by the differential tests in `tests/typed_api.rs`).
+
+use std::marker::PhantomData;
+
+use bloomrf::encode::RangeKey;
+use bloomrf_filters::FilterKind;
+
+use crate::db::{Db, DbOptions};
+use crate::stats::ReadStatsSnapshot;
+
+/// An LSM store over keys of type `K`.
+///
+/// ```
+/// use bloomrf_lsm::TypedDb;
+///
+/// let db: TypedDb<i64> = TypedDb::with_default_options();
+/// db.put(&-40, b"cold".to_vec());
+/// db.put(&25, b"warm".to_vec());
+/// assert_eq!(db.get(&-40), Some(b"cold".to_vec()));
+/// assert!(db.range_non_empty(&-100, &0));
+/// assert_eq!(db.scan(&0, &100, 10), vec![(25, b"warm".to_vec())]);
+/// ```
+pub struct TypedDb<K: RangeKey> {
+    inner: Db,
+    _key: PhantomData<fn(K) -> K>,
+}
+
+impl<K: RangeKey> TypedDb<K> {
+    /// Open an empty typed store.
+    pub fn new(options: DbOptions) -> Self {
+        Self::wrap(Db::new(options))
+    }
+
+    /// Open with default options.
+    pub fn with_default_options() -> Self {
+        Self::wrap(Db::new(DbOptions::default()))
+    }
+
+    /// Open with default options but a specific filter family and budget.
+    pub fn with_filter(filter_kind: FilterKind, bits_per_key: f64) -> Self {
+        Self::wrap(Db::with_filter(filter_kind, bits_per_key))
+    }
+
+    /// Wrap an existing `u64`-keyed store.
+    pub fn wrap(inner: Db) -> Self {
+        Self {
+            inner,
+            _key: PhantomData,
+        }
+    }
+
+    /// The underlying `u64`-keyed store.
+    pub fn inner(&self) -> &Db {
+        &self.inner
+    }
+
+    /// Unwrap back into the underlying store.
+    pub fn into_inner(self) -> Db {
+        self.inner
+    }
+
+    /// Store a key-value pair (see [`Db::put`]).
+    pub fn put(&self, key: &K, value: Vec<u8>) {
+        self.inner.put(key.to_domain(), value);
+    }
+
+    /// Force-flush the memtable into a new level-0 SST.
+    pub fn flush(&self) {
+        self.inner.flush();
+    }
+
+    /// Point lookup (see [`Db::get`]).
+    pub fn get(&self, key: &K) -> Option<Vec<u8>> {
+        self.inner.get(key.to_domain())
+    }
+
+    /// Batched, multi-threaded point lookup (see [`Db::get_batch`]).
+    pub fn get_batch(&self, keys: &[K], threads: usize) -> Vec<Option<Vec<u8>>> {
+        let codes: Vec<u64> = keys.iter().map(RangeKey::to_domain).collect();
+        self.inner.get_batch(&codes, threads)
+    }
+
+    /// Range scan over the typed interval `[lo, hi]`, returning up to
+    /// `limit` entries in domain-code order.
+    ///
+    /// Keys are decoded back through [`RangeKey::from_domain`]; entries
+    /// whose code has no `K` representation are skipped, which can only
+    /// happen for non-invertible codecs (byte strings) — use
+    /// [`TypedDb::inner`]`.scan(..)` there to receive the raw codes.
+    pub fn scan(&self, lo: &K, hi: &K, limit: usize) -> Vec<(K, Vec<u8>)> {
+        let (lo, hi) = K::range_bounds(lo, hi);
+        self.inner
+            .scan(lo, hi, limit)
+            .into_iter()
+            .filter_map(|(code, value)| K::from_domain(code).map(|k| (k, value)))
+            .collect()
+    }
+
+    /// Filter-driven range emptiness check over the typed interval (see
+    /// [`Db::range_is_possibly_non_empty`]); byte-string ranges get prefix
+    /// semantics through the codec's [`RangeKey::range_bounds`].
+    pub fn range_non_empty(&self, lo: &K, hi: &K) -> bool {
+        let (lo, hi) = K::range_bounds(lo, hi);
+        lo <= hi && self.inner.range_is_possibly_non_empty(lo, hi)
+    }
+
+    /// Batched, multi-threaded range emptiness check (see
+    /// [`Db::range_non_empty_batch`]).
+    pub fn range_non_empty_batch(&self, ranges: &[(K, K)], threads: usize) -> Vec<bool> {
+        let bounds: Vec<(u64, u64)> = ranges
+            .iter()
+            .map(|(lo, hi)| K::range_bounds(lo, hi))
+            .collect();
+        self.inner.range_non_empty_batch(&bounds, threads)
+    }
+
+    /// Read-path statistics accumulated since the last reset.
+    pub fn stats(&self) -> ReadStatsSnapshot {
+        self.inner.stats()
+    }
+
+    /// Reset the read-path statistics.
+    pub fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloomrf::encode::encode_f64;
+
+    fn small_options() -> DbOptions {
+        DbOptions {
+            memtable_flush_entries: 500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn typed_f64_store_matches_manual_encoding() {
+        let typed: TypedDb<f64> = TypedDb::new(small_options());
+        let manual = Db::new(small_options());
+        for i in 0..2000 {
+            let key = (i as f64 - 1000.0) * 0.75;
+            let value = vec![(i % 251) as u8; 8];
+            typed.put(&key, value.clone());
+            manual.put(encode_f64(key), value);
+        }
+        for i in (0..2000).step_by(37) {
+            let key = (i as f64 - 1000.0) * 0.75;
+            assert_eq!(typed.get(&key), manual.get(encode_f64(key)));
+            assert!(typed.get(&key).is_some());
+        }
+        assert_eq!(typed.get(&9999.0), None);
+        // Typed scans decode back to the float keys.
+        let hits = typed.scan(&-1.0, &1.0, 100);
+        assert!(!hits.is_empty());
+        for (k, _) in &hits {
+            assert!((-1.0..=1.0).contains(k));
+        }
+        assert_eq!(
+            typed.range_non_empty(&-0.5, &0.5),
+            manual.range_is_possibly_non_empty(encode_f64(-0.5), encode_f64(0.5))
+        );
+    }
+
+    #[test]
+    fn typed_batches_match_sequential_calls() {
+        let db: TypedDb<i64> = TypedDb::new(small_options());
+        for i in -1500i64..1500 {
+            db.put(&(i * 3), vec![(i.unsigned_abs() % 200) as u8]);
+        }
+        let probes: Vec<i64> = (-500..500).map(|i| i * 3 + (i % 2)).collect();
+        let expected: Vec<Option<Vec<u8>>> = probes.iter().map(|k| db.get(k)).collect();
+        for threads in [1usize, 4, 0] {
+            assert_eq!(
+                db.get_batch(&probes, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+        let ranges: Vec<(i64, i64)> = (-200..200).map(|i| (i * 9, i * 9 + (i % 5))).collect();
+        let expected: Vec<bool> = ranges
+            .iter()
+            .map(|(lo, hi)| db.range_non_empty(lo, hi))
+            .collect();
+        for threads in [1usize, 3, 0] {
+            assert_eq!(
+                db.range_non_empty_batch(&ranges, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+        assert!(db.inner().num_entries() > 0);
+        let _ = db.stats();
+        db.reset_stats();
+        let _ = db.into_inner();
+    }
+
+    #[test]
+    fn reversed_bounds_are_empty_not_a_panic() {
+        let db: TypedDb<i64> = TypedDb::new(small_options());
+        for i in 0..100i64 {
+            db.put(&i, vec![1]);
+        }
+        // Every read path treats reversed bounds as the empty interval —
+        // including the memtable, whose BTreeMap::range would panic on them.
+        assert!(db.scan(&50, &10, 5).is_empty());
+        assert!(!db.range_non_empty(&50, &10));
+        assert_eq!(
+            db.range_non_empty_batch(&[(5, 60), (50, 10)], 2),
+            vec![true, false]
+        );
+        assert!(db.inner().scan(5, 1, 5).is_empty());
+        assert!(!db.inner().range_is_possibly_non_empty(5, 1));
+    }
+}

@@ -142,7 +142,8 @@ mod tests {
         let series = kepler_like_flux(10_000, 1);
         let mut sorted = series.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let encoded: Vec<u64> = sorted.iter().map(|&v| bloomrf::encode_f64(v)).collect();
+        use bloomrf::RangeKey;
+        let encoded: Vec<u64> = sorted.iter().map(RangeKey::to_domain).collect();
         for w in encoded.windows(2) {
             assert!(w[0] <= w[1]);
         }

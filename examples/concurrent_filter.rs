@@ -16,7 +16,15 @@ fn main() {
 
     // A sharded filter stripes every segment into lock-free shards; answers
     // are bit-identical to the flat `BloomRf` with the same configuration.
-    let filter = Arc::new(ShardedBloomRf::basic_sharded(64, n_keys, 14.0, 7, 16).expect("config"));
+    // `.sharded(16)` on the unified builder selects the striped backend.
+    let filter: Arc<ShardedBloomRf> = Arc::new(
+        BloomRf::builder()
+            .expected_keys(n_keys)
+            .bits_per_key(14.0)
+            .sharded(16)
+            .build()
+            .expect("config"),
+    );
     println!(
         "sharded filter: {} keys budgeted, {} shards, {:.1} KiB",
         n_keys,

@@ -1,10 +1,12 @@
 //! Range-filtering floating-point data (Sect. 8 / Experiment 5): a
-//! Kepler-like flux time series is inserted through the order-preserving
-//! float coding φ and probed with small float ranges.
+//! Kepler-like flux time series is inserted into a *typed* filter
+//! (`TypedBloomRf<f64>`) — the order-preserving float coding φ is applied by
+//! the `RangeKey` codec on both the insert and the probe side, so it can no
+//! longer be applied on one side only.
 //!
 //! Run with: `cargo run --release --example float_timeseries`
 
-use bloomrf::{encode_f64, BloomRf};
+use bloomrf::{BloomRf, RangeKey};
 use bloomrf_workloads::datasets::{kepler_like_flux, series_stats};
 
 fn main() {
@@ -18,20 +20,24 @@ fn main() {
         stats.negative_fraction * 100.0
     );
 
-    let filter = BloomRf::basic(64, series.len(), 16.0, 7).expect("config");
-    for &value in &series {
-        filter.insert(encode_f64(value));
-    }
+    // One builder chain: space budget + key type. The filter speaks f64.
+    let filter = BloomRf::builder()
+        .expected_keys(series.len())
+        .bits_per_key(16.0)
+        .key_type::<f64>()
+        .build()
+        .expect("config");
+    filter.insert_batch(&series);
 
     // Point query: a measured value is always found.
-    assert!(filter.contains_point(encode_f64(series[1000])));
+    assert!(filter.contains_point(&series[1000]));
 
     // Range query: "was any flux value observed in [lo, hi]?"
     let lo = stats.mean - 0.5;
     let hi = stats.mean + 0.5;
     println!(
         "flux in [{lo:.3}, {hi:.3}]? -> {}",
-        filter.contains_range(encode_f64(lo), encode_f64(hi))
+        filter.contains_range(&lo, &hi)
     );
 
     // Narrow queries far outside the observed value range are rejected.
@@ -39,11 +45,11 @@ fn main() {
     let far_hi = far_lo + 1.0e-3;
     println!(
         "flux in [{far_lo:.3}, {far_hi:.3}] (outside the data)? -> {}",
-        filter.contains_range(encode_f64(far_lo), encode_f64(far_hi))
+        filter.contains_range(&far_lo, &far_hi)
     );
 
-    // The coding preserves order even across the sign boundary.
-    assert!(encode_f64(-0.1) < encode_f64(0.1));
-    assert!(encode_f64(f64::NEG_INFINITY) < encode_f64(stats.min));
+    // The codec preserves order even across the sign boundary.
+    assert!((-0.1f64).to_domain() < 0.1f64.to_domain());
+    assert!(f64::NEG_INFINITY.to_domain() < stats.min.to_domain());
     println!("float_timeseries example finished OK");
 }

@@ -3,16 +3,20 @@
 //! `Run < 300 AND ObjectID = const` with a better FPR than two separate
 //! filters combined.
 //!
+//! The concatenated keys are expressed through the typed API: a
+//! `TypedBloomRf<(u32, u32)>` packs the pair in the high/low halves of the
+//! `u64` domain, so `A = a AND B ∈ [lo, hi]` is the single typed range query
+//! `[(a, lo), (a, hi)]`. Inserting both orders — as `MultiAttrBloomRf` does
+//! internally — answers equality on either attribute.
+//!
 //! Run with: `cargo run --release --example multi_attribute`
 
-use bloomrf::encode::{EqAttribute, MultiAttrBloomRf};
 use bloomrf::BloomRf;
 use bloomrf_workloads::datasets::sdss_like_objects;
 
-/// Runs are small integers; spread them over the u64 domain so the
-/// precision-reduction of the multi-attribute filter preserves their order.
-fn run_key(run: u64) -> u64 {
-    run << 48
+/// Order-preserving 32-bit reduction of a 64-bit object id (keep the MSBs).
+fn id32(object_id: u64) -> u32 {
+    (object_id >> 32) as u32
 }
 
 fn main() {
@@ -22,15 +26,31 @@ fn main() {
         objects.len()
     );
 
-    // One filter over the concatenated attributes (both orders inserted).
-    let multi = MultiAttrBloomRf::new(BloomRf::basic(64, objects.len() * 2, 9.0, 7).unwrap(), 32);
+    // One typed filter over the concatenated attributes (both orders
+    // inserted, so the per-key budget is split over two insertions).
+    let multi = BloomRf::builder()
+        .expected_keys(objects.len() * 2)
+        .bits_per_key(9.0)
+        .key_type::<(u32, u32)>()
+        .build()
+        .expect("config");
     // Two separate filters, combined conjunctively at query time.
-    let run_filter = BloomRf::basic(64, objects.len(), 9.0, 7).unwrap();
-    let id_filter = BloomRf::basic(64, objects.len(), 9.0, 7).unwrap();
+    let run_filter = BloomRf::builder()
+        .expected_keys(objects.len())
+        .bits_per_key(9.0)
+        .build()
+        .expect("config");
+    let id_filter = BloomRf::builder()
+        .expected_keys(objects.len())
+        .bits_per_key(9.0)
+        .build()
+        .expect("config");
 
     for o in &objects {
-        multi.insert(run_key(o.run), o.object_id);
-        run_filter.insert(run_key(o.run));
+        let (run, id) = (o.run as u32, id32(o.object_id));
+        multi.insert(&(run, id)); // answers: Run = r AND ObjectID ∈ [..]
+        multi.insert(&(id, run)); // answers: ObjectID = id AND Run ∈ [..]
+        run_filter.insert(o.run);
         id_filter.insert(o.object_id);
     }
 
@@ -40,11 +60,11 @@ fn main() {
         .iter()
         .find(|o| o.run >= 600)
         .expect("dataset has high runs");
-    let threshold = run_key(300);
 
-    let multi_answer = multi.may_match(EqAttribute::B, probe.object_id, 0, threshold - 1);
+    let multi_answer =
+        multi.contains_range(&(id32(probe.object_id), 0), &(id32(probe.object_id), 299));
     let separate_answer =
-        run_filter.contains_range(0, threshold - 1) && id_filter.contains_point(probe.object_id);
+        run_filter.contains_range(0, 299) && id_filter.contains_point(probe.object_id);
 
     println!(
         "query: Run < 300 AND ObjectID = {:#x} (true answer: no)",
@@ -58,12 +78,9 @@ fn main() {
 
     // A real combination is, of course, always found.
     let existing = &objects[42];
-    assert!(multi.may_match_point(run_key(existing.run), existing.object_id));
-    assert!(multi.may_match(
-        EqAttribute::A,
-        run_key(existing.run),
-        existing.object_id,
-        existing.object_id
-    ));
+    let (run, id) = (existing.run as u32, id32(existing.object_id));
+    assert!(multi.contains_point(&(run, id)));
+    assert!(multi.contains_range(&(run, id), &(run, id)));
+    assert!(multi.contains_range(&(id, 0), &(id, u32::MAX))); // ObjectID = id, any run
     println!("multi_attribute example finished OK");
 }

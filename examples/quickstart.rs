@@ -49,6 +49,9 @@ fn main() {
     );
 
     // --- 2. Advisor-tuned filter for large ranges ------------------------
+    // The unified builder is the one construction surface: `.max_range(..)`
+    // switches to the advisor-tuned extended configuration (Sect. 7), and
+    // the same chain takes `.sharded(..)` / `.key_type::<f64>()` when needed.
     let tuned = TuningAdvisor::tune_for(64, 200_000, 18.0, 1e9).expect("tunable");
     println!(
         "advisor picked {} layers, Δ = {:?}, exact level = {:?}, predicted point FPR = {:.4}",
@@ -57,7 +60,13 @@ fn main() {
         tuned.config.exact_level,
         tuned.point_fpr
     );
-    let big = BloomRf::new(tuned.config).expect("valid configuration");
+    let big = BloomRf::builder()
+        .expected_keys(200_000)
+        .bits_per_key(18.0)
+        .max_range(1e9)
+        .build()
+        .expect("valid configuration");
+    assert_eq!(big.config(), &tuned.config, "builder == advisor");
     for key in (0..200_000u64).map(|i| i << 20) {
         big.insert(key);
     }

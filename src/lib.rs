@@ -20,11 +20,12 @@ pub use bloomrf_workloads;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use bloomrf::{
-        advisor::TuningAdvisor, BloomRf, BloomRfConfig, LayerSpec, OnlineFilter, PointRangeFilter,
-        RangePolicy,
+        advisor::TuningAdvisor, BloomRf, BloomRfBuilder, BloomRfConfig, ExclusiveOnlineFilter,
+        LayerSpec, Locked, OnlineFilter, PointRangeFilter, RangeKey, RangePolicy, TypedBloomRf,
+        TypedShardedBloomRf,
     };
     pub use bloomrf_filters::FilterKind;
-    pub use bloomrf_lsm::{Db, DbOptions};
+    pub use bloomrf_lsm::{Db, DbOptions, TypedDb};
     pub use bloomrf_workloads::{
         Distribution, QueryGenerator, Sampler, YcsbEConfig, YcsbEWorkload,
     };
@@ -40,5 +41,17 @@ mod tests {
         assert!(filter.contains_point(1));
         let _ = FilterKind::Bloom.label();
         let _ = Distribution::Uniform.label();
+        // The typed surface is one import away.
+        let typed: TypedBloomRf<i64> = BloomRf::builder()
+            .expected_keys(10)
+            .key_type::<i64>()
+            .build()
+            .unwrap();
+        typed.insert(&-1);
+        assert!(typed.contains_range(&-2, &0));
+        assert_eq!((-1i64).to_domain(), bloomrf::encode_i64(-1));
+        let db: TypedDb<i64> = TypedDb::with_default_options();
+        db.put(&-5, vec![1]);
+        assert_eq!(db.get(&-5), Some(vec![1]));
     }
 }

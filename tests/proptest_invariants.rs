@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use bloomrf::dyadic::canonical_decomposition;
-use bloomrf::traits::{OnlineFilter, PointRangeFilter};
+use bloomrf::traits::{ExclusiveOnlineFilter, PointRangeFilter};
 use bloomrf::{decode_f64, decode_i64, encode_f64, encode_i64, BloomRf, ShardedBloomRf};
 use bloomrf_filters::{
     BloomFilter, CuckooFilter, RosettaFilter, RosettaVariant, SurfFilter, SurfMode,

@@ -27,6 +27,22 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+ $(,)?)),* $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
 macro_rules! int_range_strategy {
     ($($ty:ty),* $(,)?) => {$(
         impl Strategy for Range<$ty> {
