@@ -246,28 +246,21 @@ impl<S: BuildStore> BloomRfBuilder<S> {
 
     /// Reconstruct a filter from [`BloomRf::to_bytes`] output onto this
     /// builder's storage backend. The serialized configuration wins over the
-    /// builder's geometry and seed knobs (the bits were written under them);
-    /// the shard count and the *non-serialized* run-time knobs — range
-    /// policy and word layout — are taken from the builder, so a filter
-    /// built with `WordLayout::Alternating` must be restored with
-    /// `.word_layout(WordLayout::Alternating)` to answer correctly (the
-    /// serialized format does not carry it).
+    /// builder's geometry and seed knobs (the bits were written under them).
+    ///
+    /// Format v2 persists the complete configuration: the serialized
+    /// `word_layout` is authoritative (a conflicting builder layout is
+    /// ignored — the bits were written under the serialized one) and the
+    /// builder's [`BloomRfBuilder::range_policy`] acts as a run-time
+    /// override. Legacy v1 bytes never recorded the layout; they decode only
+    /// when `.word_layout(..)` is set explicitly, otherwise
+    /// [`DecodeError::AmbiguousLegacyFormat`] is returned instead of a
+    /// silently wrong (false-negative-prone) filter.
     pub fn from_bytes(self, bytes: &[u8]) -> Result<BloomRf<S>, DecodeError> {
         let shards = self.shards;
-        let (range_policy, word_layout) = (self.range_policy, self.word_layout);
-        BloomRf::from_bytes_adjusted(
-            bytes,
-            |mut cfg| {
-                if let Some(policy) = range_policy {
-                    cfg = cfg.with_range_policy(policy);
-                }
-                if let Some(layout) = word_layout {
-                    cfg = cfg.with_word_layout(layout);
-                }
-                cfg
-            },
-            |bits| S::make(bits, shards),
-        )
+        BloomRf::from_bytes_knobs(bytes, self.range_policy, self.word_layout, |bits| {
+            S::make(bits, shards)
+        })
     }
 }
 
@@ -556,11 +549,12 @@ mod tests {
     }
 
     #[test]
-    fn from_bytes_reapplies_the_non_serialized_knobs() {
-        // The wire format carries geometry + seed but not word_layout /
-        // range_policy; the builder must reapply them or an
-        // alternating-layout filter would be restored with forward layout
-        // and return false negatives.
+    fn from_bytes_restores_every_knob_without_overrides() {
+        // Wire format v2 carries the complete configuration — word_layout
+        // and range_policy included — so a *bare* restore is exact. (Under
+        // v1 this very case silently produced false negatives; the
+        // regression is pinned by `v2_roundtrip_fixes_v1_false_negatives`
+        // in filter.rs and the committed v1 fixtures.)
         let filter = BloomRf::builder()
             .expected_keys(2000)
             .bits_per_key(14.0)
@@ -572,13 +566,7 @@ mod tests {
             .unwrap();
         let keys: Vec<u64> = (0..2000).map(|i| crate::hashing::mix64(i) >> 8).collect();
         filter.insert_batch(&keys);
-        let restored = BloomRf::builder()
-            .word_layout(WordLayout::Alternating)
-            .range_policy(RangePolicy::Conservative {
-                max_words_per_layer: 3,
-            })
-            .from_bytes(&filter.to_bytes())
-            .unwrap();
+        let restored = BloomRf::builder().from_bytes(&filter.to_bytes()).unwrap();
         assert_eq!(restored.config(), filter.config());
         assert_eq!(restored.config().word_layout, WordLayout::Alternating);
         for &k in &keys {
@@ -592,14 +580,16 @@ mod tests {
                 filter.contains_range(probe, probe.saturating_add(1 << 20))
             );
         }
-        // Without the layout override the restored filter decodes with the
-        // default forward layout and loses keys — the documented caveat.
-        let wrong = BloomRf::builder().from_bytes(&filter.to_bytes()).unwrap();
-        assert_eq!(wrong.config().word_layout, WordLayout::Forward);
-        assert!(
-            keys.iter().any(|&k| !wrong.contains_point(k)),
-            "forward-layout restore of an alternating filter should lose keys"
-        );
+        // A conflicting builder layout cannot corrupt a v2 restore: the
+        // serialized layout is authoritative.
+        let forced = BloomRf::builder()
+            .word_layout(WordLayout::Forward)
+            .from_bytes(&filter.to_bytes())
+            .unwrap();
+        assert_eq!(forced.config().word_layout, WordLayout::Alternating);
+        for &k in &keys {
+            assert!(forced.contains_point(k), "false negative for {k}");
+        }
     }
 
     #[test]

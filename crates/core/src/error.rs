@@ -116,6 +116,37 @@ pub enum DecodeError {
         /// Number of unconsumed bytes.
         remaining: usize,
     },
+    /// A v2 section body does not match its stored CRC-32 checksum (bit rot
+    /// or a torn write inside the section).
+    ChecksumMismatch {
+        /// Name of the damaged section (`"header"`, `"config"`, `"bits"`).
+        section: &'static str,
+        /// Checksum stored in the stream.
+        stored: u32,
+        /// Checksum computed over the section body as read.
+        computed: u32,
+    },
+    /// A required v2 section is missing or out of order.
+    MissingSection {
+        /// Name of the section that was expected.
+        section: &'static str,
+    },
+    /// An enum field decoded to a discriminant this build does not know.
+    BadEnumTag {
+        /// Name of the field (`"range_policy"`, `"word_layout"`, …).
+        field: &'static str,
+        /// The unknown discriminant value.
+        tag: u8,
+    },
+    /// The bytes are legacy v1 format, which does not record `word_layout`:
+    /// restoring them without knowing the layout silently produces false
+    /// negatives for alternating-layout filters, so a bare decode refuses.
+    /// Resolve the ambiguity explicitly via
+    /// `BloomRf::builder().word_layout(..).from_bytes(..)`.
+    AmbiguousLegacyFormat {
+        /// The legacy format version encountered.
+        version: u32,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -133,6 +164,25 @@ impl fmt::Display for DecodeError {
             DecodeError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after a well-formed filter")
             }
+            DecodeError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} section checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DecodeError::MissingSection { section } => {
+                write!(f, "required {section} section is missing or out of order")
+            }
+            DecodeError::BadEnumTag { field, tag } => {
+                write!(f, "field {field} has unknown discriminant {tag}")
+            }
+            DecodeError::AmbiguousLegacyFormat { version } => write!(
+                f,
+                "legacy v{version} bytes do not record the word layout; decode them through \
+                 BloomRf::builder().word_layout(..).from_bytes(..) to resolve the ambiguity"
+            ),
         }
     }
 }
@@ -228,6 +278,29 @@ mod tests {
             ),
             (DecodeError::BitArrayCorrupted { index: 2 }, "bit array 2"),
             (DecodeError::TrailingBytes { remaining: 5 }, "5 trailing"),
+            (
+                DecodeError::ChecksumMismatch {
+                    section: "config",
+                    stored: 0xDEAD_BEEF,
+                    computed: 0x1234_5678,
+                },
+                "config section checksum mismatch",
+            ),
+            (
+                DecodeError::MissingSection { section: "bits" },
+                "bits section",
+            ),
+            (
+                DecodeError::BadEnumTag {
+                    field: "word_layout",
+                    tag: 9,
+                },
+                "word_layout",
+            ),
+            (
+                DecodeError::AmbiguousLegacyFormat { version: 1 },
+                "legacy v1",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

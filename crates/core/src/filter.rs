@@ -38,8 +38,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::bitarray::{mask_between, AtomicBits, BitStore, BitVec, ShardedAtomicBits};
 use crate::config::{BloomRfConfig, RangePolicy};
+use crate::crc32::crc32;
 use crate::error::{ConfigError, DecodeError};
-use crate::hashing::{derive_seeds, shl, shr, HashKind, Pmhf};
+use crate::hashing::{derive_seeds, shl, shr, HashKind, Pmhf, WordLayout};
 use crate::traits::{OnlineFilter, PointRangeFilter};
 
 /// Probe-cost counters collected during a range lookup; used by the
@@ -252,23 +253,38 @@ impl<S: BitStore> BloomRf<S> {
         bytes: &[u8],
         make_store: impl Fn(usize) -> S,
     ) -> Result<Self, DecodeError> {
-        Self::from_bytes_adjusted(bytes, |cfg| cfg, make_store)
+        Self::from_bytes_knobs(bytes, None, None, make_store)
     }
 
-    /// [`BloomRf::from_bytes_with`] with a hook to adjust the decoded
-    /// configuration before the filter is instantiated. The serialized
-    /// format does not carry the run-time knobs (`range_policy`,
-    /// `word_layout`), so the builder reapplies them here — the geometry
-    /// and seed must stay as decoded or the restored bits become garbage.
-    pub(crate) fn from_bytes_adjusted(
+    /// [`BloomRf::from_bytes_with`] with the builder's run-time knobs.
+    ///
+    /// Format v2 persists the full configuration, so the serialized
+    /// `word_layout` is authoritative (the bits were written under it; an
+    /// explicit builder layout is ignored) and `range_policy` acts as a
+    /// run-time override. Legacy v1 bytes do not record the layout: they are
+    /// only decoded when `word_layout` is supplied explicitly, otherwise an
+    /// alternating-layout filter would silently be restored with forward
+    /// layout and lose keys ([`DecodeError::AmbiguousLegacyFormat`]).
+    pub(crate) fn from_bytes_knobs(
         bytes: &[u8],
-        adjust: impl FnOnce(BloomRfConfig) -> BloomRfConfig,
+        range_policy: Option<RangePolicy>,
+        word_layout: Option<WordLayout>,
         make_store: impl Fn(usize) -> S,
     ) -> Result<Self, DecodeError> {
-        let (config, key_count, arrays) = decode_parts(bytes)?;
-        let filter = Self::with_store(adjust(config), make_store)?;
-        filter.restore_arrays(&arrays)?;
-        filter.key_count.store(key_count, Ordering::Relaxed);
+        let decoded = decode_parts(bytes)?;
+        let mut config = decoded.config;
+        if decoded.version == 1 {
+            match word_layout {
+                Some(layout) => config = config.with_word_layout(layout),
+                None => return Err(DecodeError::AmbiguousLegacyFormat { version: 1 }),
+            }
+        }
+        if let Some(policy) = range_policy {
+            config = config.with_range_policy(policy);
+        }
+        let filter = Self::with_store(config, make_store)?;
+        filter.restore_arrays(&decoded.arrays)?;
+        filter.key_count.store(decoded.key_count, Ordering::Relaxed);
         Ok(filter)
     }
 
@@ -779,31 +795,66 @@ impl<S: BitStore> BloomRf<S> {
     /// Serialize the filter (configuration + bit arrays) into a byte buffer,
     /// as the LSM substrate stores it in an SST filter block. The format is
     /// independent of the storage backend.
+    ///
+    /// Writes wire format **v2** (see `docs/wire-format.md`): a magic +
+    /// version prelude followed by self-describing, length-prefixed sections
+    /// — header, config, bits — each closed by a CRC-32 of its body. Unlike
+    /// v1, the config section carries the *complete* [`BloomRfConfig`],
+    /// including `range_policy` and `word_layout`, so a bare
+    /// [`BloomRf::from_bytes`] restores any filter exactly.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(b"BLRF");
-        out.extend_from_slice(&1u32.to_le_bytes()); // format version
-        out.extend_from_slice(&self.config.domain_bits.to_le_bytes());
-        out.extend_from_slice(&(self.config.layers.len() as u32).to_le_bytes());
-        for l in &self.config.layers {
-            out.extend_from_slice(&l.level.to_le_bytes());
-            out.extend_from_slice(&l.gap.to_le_bytes());
-            out.extend_from_slice(&l.replicas.to_le_bytes());
-            out.extend_from_slice(&(l.segment as u32).to_le_bytes());
+        out.extend_from_slice(WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_FORMAT_VERSION.to_le_bytes());
+
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.key_count().to_le_bytes());
+        push_section(&mut out, SECTION_HEADER, &body);
+
+        let cfg = &self.config;
+        let mut body = Vec::new();
+        body.extend_from_slice(&cfg.domain_bits.to_le_bytes());
+        body.extend_from_slice(&(cfg.layers.len() as u32).to_le_bytes());
+        for l in &cfg.layers {
+            body.extend_from_slice(&l.level.to_le_bytes());
+            body.extend_from_slice(&l.gap.to_le_bytes());
+            body.extend_from_slice(&l.replicas.to_le_bytes());
+            body.extend_from_slice(&(l.segment as u32).to_le_bytes());
         }
-        out.extend_from_slice(&(self.config.segment_bits.len() as u32).to_le_bytes());
-        for s in &self.config.segment_bits {
-            out.extend_from_slice(&(*s as u64).to_le_bytes());
+        body.extend_from_slice(&(cfg.segment_bits.len() as u32).to_le_bytes());
+        for s in &cfg.segment_bits {
+            body.extend_from_slice(&(*s as u64).to_le_bytes());
         }
-        let exact_level: i64 = self.config.exact_level.map(|e| e as i64).unwrap_or(-1);
-        out.extend_from_slice(&exact_level.to_le_bytes());
-        out.extend_from_slice(&self.config.hash_seed.to_le_bytes());
-        out.extend_from_slice(&self.key_count().to_le_bytes());
-        for bv in self.snapshot_bits() {
+        let exact_level: i64 = cfg.exact_level.map(|e| e as i64).unwrap_or(-1);
+        body.extend_from_slice(&exact_level.to_le_bytes());
+        body.extend_from_slice(&cfg.hash_seed.to_le_bytes());
+        match cfg.range_policy {
+            RangePolicy::Exact => {
+                body.push(0);
+                body.extend_from_slice(&0u64.to_le_bytes());
+            }
+            RangePolicy::Conservative {
+                max_words_per_layer,
+            } => {
+                body.push(1);
+                body.extend_from_slice(&(max_words_per_layer as u64).to_le_bytes());
+            }
+        }
+        body.push(match cfg.word_layout {
+            WordLayout::Forward => 0,
+            WordLayout::Alternating => 1,
+        });
+        push_section(&mut out, SECTION_CONFIG, &body);
+
+        let mut body = Vec::new();
+        let arrays = self.snapshot_bits();
+        body.extend_from_slice(&(arrays.len() as u32).to_le_bytes());
+        for bv in arrays {
             let bytes = bv.to_bytes();
-            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-            out.extend_from_slice(&bytes);
+            body.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            body.extend_from_slice(&bytes);
         }
+        push_section(&mut out, SECTION_BITS, &body);
         out
     }
 
@@ -837,76 +888,177 @@ impl<S: BitStore> BloomRf<S> {
     }
 }
 
-/// Parse [`BloomRf::to_bytes`] output into its configuration, key count and
-/// bit arrays, without committing to a storage backend.
-fn decode_parts(bytes: &[u8]) -> Result<(BloomRfConfig, u64, Vec<BitVec>), DecodeError> {
+/// Magic bytes opening every serialized filter.
+pub const WIRE_MAGIC: &[u8; 4] = b"BLRF";
+/// Wire-format version written by [`BloomRf::to_bytes`].
+pub const WIRE_FORMAT_VERSION: u32 = 2;
+
+/// v2 section tags (see `docs/wire-format.md`).
+const SECTION_HEADER: u32 = 1;
+const SECTION_CONFIG: u32 = 2;
+const SECTION_BITS: u32 = 3;
+
+/// Append one v2 section: `tag (u32) | body_len (u64) | body | crc32(body)`.
+fn push_section(out: &mut Vec<u8>, tag: u32, body: &[u8]) {
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+}
+
+/// Consume `n` bytes from `bytes` at `*cur`, or report where input ran out.
+fn take<'a>(bytes: &'a [u8], cur: &mut usize, n: usize) -> Result<&'a [u8], DecodeError> {
+    if n > bytes.len() - *cur {
+        return Err(DecodeError::Truncated { offset: *cur });
+    }
+    let s = &bytes[*cur..*cur + n];
+    *cur += n;
+    Ok(s)
+}
+
+fn take_u32(bytes: &[u8], cur: &mut usize) -> Result<u32, DecodeError> {
+    Ok(u32::from_le_bytes(take(bytes, cur, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(bytes: &[u8], cur: &mut usize) -> Result<u64, DecodeError> {
+    Ok(u64::from_le_bytes(take(bytes, cur, 8)?.try_into().unwrap()))
+}
+
+/// Read the section with the expected `tag` at `*cur` and return its
+/// CRC-verified body.
+fn take_section<'a>(
+    bytes: &'a [u8],
+    cur: &mut usize,
+    tag: u32,
+    name: &'static str,
+) -> Result<&'a [u8], DecodeError> {
+    let found_tag = take_u32(bytes, cur)?;
+    if found_tag != tag {
+        return Err(DecodeError::MissingSection { section: name });
+    }
+    let len = take_u64(bytes, cur)? as usize;
+    let body = take(bytes, cur, len)?;
+    let stored = take_u32(bytes, cur)?;
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch {
+            section: name,
+            stored,
+            computed,
+        });
+    }
+    Ok(body)
+}
+
+/// A filter stream parsed into its parts, before committing to a storage
+/// backend.
+struct DecodedFilter {
+    config: BloomRfConfig,
+    key_count: u64,
+    arrays: Vec<BitVec>,
+    /// Wire-format version the stream was encoded with (1 or 2).
+    version: u32,
+}
+
+/// Parse [`BloomRf::to_bytes`] output (v2) or a legacy v1 stream.
+fn decode_parts(bytes: &[u8]) -> Result<DecodedFilter, DecodeError> {
     let mut cur = 0usize;
-    let take = |cur: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
-        if *cur + n > bytes.len() {
-            return Err(DecodeError::Truncated { offset: *cur });
-        }
-        let s = &bytes[*cur..*cur + n];
-        *cur += n;
-        Ok(s)
-    };
-    let take_u32 = |cur: &mut usize| -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(take(cur, 4)?.try_into().unwrap()))
-    };
-    let take_u64 = |cur: &mut usize| -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(take(cur, 8)?.try_into().unwrap()))
-    };
-    if take(&mut cur, 4)? != b"BLRF" {
+    if take(bytes, &mut cur, 4)? != WIRE_MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = take_u32(&mut cur)?;
-    if version != 1 {
-        return Err(DecodeError::UnsupportedVersion(version));
+    let version = take_u32(bytes, &mut cur)?;
+    match version {
+        1 => decode_v1(bytes, cur),
+        2 => decode_v2(bytes, cur),
+        v => Err(DecodeError::UnsupportedVersion(v)),
     }
-    let domain_bits = take_u32(&mut cur)?;
-    let n_layers = take_u32(&mut cur)? as usize;
+}
+
+/// The config fields shared by v1 and v2 streams, as laid out after the
+/// version word (v1) or at the start of the config section body (v2).
+struct ConfigFields {
+    domain_bits: u32,
+    layers: Vec<crate::config::LayerSpec>,
+    segment_bits: Vec<usize>,
+    exact_level: Option<u32>,
+    hash_seed: u64,
+}
+
+fn decode_config_fields(bytes: &[u8], cur: &mut usize) -> Result<ConfigFields, DecodeError> {
+    let domain_bits = take_u32(bytes, cur)?;
+    let n_layers = take_u32(bytes, cur)? as usize;
     // No `with_capacity` on attacker-controlled counts: truncation surfaces
     // on the first short read instead of as a giant allocation.
     let mut layers = Vec::new();
     for _ in 0..n_layers {
-        let level = take_u32(&mut cur)?;
-        let gap = take_u32(&mut cur)?;
-        let replicas = take_u32(&mut cur)?;
-        let segment = take_u32(&mut cur)? as usize;
+        let level = take_u32(bytes, cur)?;
+        let gap = take_u32(bytes, cur)?;
+        let replicas = take_u32(bytes, cur)?;
+        let segment = take_u32(bytes, cur)? as usize;
         layers.push(crate::config::LayerSpec::new(level, gap, replicas, segment));
     }
-    let n_segments = take_u32(&mut cur)? as usize;
+    let n_segments = take_u32(bytes, cur)? as usize;
     let mut segment_bits = Vec::new();
     for _ in 0..n_segments {
-        segment_bits.push(take_u64(&mut cur)? as usize);
+        segment_bits.push(take_u64(bytes, cur)? as usize);
     }
-    let exact_level_raw = i64::from_le_bytes(take(&mut cur, 8)?.try_into().unwrap());
+    let exact_level_raw = i64::from_le_bytes(take(bytes, cur, 8)?.try_into().unwrap());
     let exact_level = if exact_level_raw < 0 {
         None
     } else {
         Some(exact_level_raw as u32)
     };
-    let hash_seed = take_u64(&mut cur)?;
-    let key_count = take_u64(&mut cur)?;
-    // A genuine stream carries every declared bit array verbatim, so the
-    // declared sizes are bounded by the input length. This must run *before*
-    // `BloomRfConfig::new`: rejecting oversized declarations here keeps a
-    // flipped size byte from overflowing the config's word rounding or
-    // turning into a multi-terabyte allocation when the filter is
-    // constructed. (The fields are unvalidated at this point, hence the
-    // saturating arithmetic.)
+    let hash_seed = take_u64(bytes, cur)?;
+    Ok(ConfigFields {
+        domain_bits,
+        layers,
+        segment_bits,
+        exact_level,
+        hash_seed,
+    })
+}
+
+/// A genuine stream carries every declared bit array verbatim, so the
+/// declared sizes are bounded by the input length. This must run *before*
+/// `BloomRfConfig::new`: rejecting oversized declarations here keeps a
+/// flipped size byte from overflowing the config's word rounding or turning
+/// into a multi-terabyte allocation when the filter is constructed. (The
+/// fields are unvalidated at this point, hence the saturating arithmetic.)
+fn check_declared_bits(
+    input_len: usize,
+    at: usize,
+    domain_bits: u32,
+    segment_bits: &[usize],
+    exact_level: Option<u32>,
+) -> Result<(), DecodeError> {
     let declared_bits: u128 = segment_bits.iter().map(|&b| b as u128).sum::<u128>()
         + exact_level
             .map(|e| 1u128 << domain_bits.saturating_sub(e).min(63))
             .unwrap_or(0);
-    if declared_bits > bytes.len() as u128 * 8 {
-        return Err(DecodeError::Truncated { offset: cur });
+    if declared_bits > input_len as u128 * 8 {
+        return Err(DecodeError::Truncated { offset: at });
     }
+    Ok(())
+}
+
+/// Legacy v1 stream: fixed field order, no checksums, no `range_policy` /
+/// `word_layout`. Kept for back-compat with pre-v2 persisted filters.
+fn decode_v1(bytes: &[u8], mut cur: usize) -> Result<DecodedFilter, DecodeError> {
+    let ConfigFields {
+        domain_bits,
+        layers,
+        segment_bits,
+        exact_level,
+        hash_seed,
+    } = decode_config_fields(bytes, &mut cur)?;
+    let key_count = take_u64(bytes, &mut cur)?;
+    check_declared_bits(bytes.len(), cur, domain_bits, &segment_bits, exact_level)?;
     let config = BloomRfConfig::new(domain_bits, layers, segment_bits, exact_level, hash_seed)?;
     let expected_arrays = config.segment_bits.len() + usize::from(config.exact_level.is_some());
     let mut arrays = Vec::new();
     for index in 0..expected_arrays {
-        let len = take_u64(&mut cur)? as usize;
-        let bv = BitVec::from_bytes(take(&mut cur, len)?)
+        let len = take_u64(bytes, &mut cur)? as usize;
+        let bv = BitVec::from_bytes(take(bytes, &mut cur, len)?)
             .ok_or(DecodeError::BitArrayCorrupted { index })?;
         arrays.push(bv);
     }
@@ -915,7 +1067,102 @@ fn decode_parts(bytes: &[u8]) -> Result<(BloomRfConfig, u64, Vec<BitVec>), Decod
             remaining: bytes.len() - cur,
         });
     }
-    Ok((config, key_count, arrays))
+    Ok(DecodedFilter {
+        config,
+        key_count,
+        arrays,
+        version: 1,
+    })
+}
+
+/// v2 stream: length-prefixed, CRC-32-closed sections. Unknown sections
+/// after the three required ones are skipped if well-formed (their checksum
+/// is still verified), so future writers can append metadata without
+/// breaking this reader.
+fn decode_v2(bytes: &[u8], mut cur: usize) -> Result<DecodedFilter, DecodeError> {
+    let header = take_section(bytes, &mut cur, SECTION_HEADER, "header")?;
+    let mut hc = 0usize;
+    let key_count = take_u64(header, &mut hc)?;
+
+    let config_body = take_section(bytes, &mut cur, SECTION_CONFIG, "config")?;
+    let mut cc = 0usize;
+    let ConfigFields {
+        domain_bits,
+        layers,
+        segment_bits,
+        exact_level,
+        hash_seed,
+    } = decode_config_fields(config_body, &mut cc)?;
+    let policy_tag = take(config_body, &mut cc, 1)?[0];
+    let policy_words = take_u64(config_body, &mut cc)? as usize;
+    let range_policy = match policy_tag {
+        0 => RangePolicy::Exact,
+        1 => RangePolicy::Conservative {
+            max_words_per_layer: policy_words,
+        },
+        tag => {
+            return Err(DecodeError::BadEnumTag {
+                field: "range_policy",
+                tag,
+            })
+        }
+    };
+    let word_layout = match take(config_body, &mut cc, 1)?[0] {
+        0 => WordLayout::Forward,
+        1 => WordLayout::Alternating,
+        tag => {
+            return Err(DecodeError::BadEnumTag {
+                field: "word_layout",
+                tag,
+            })
+        }
+    };
+    check_declared_bits(bytes.len(), cur, domain_bits, &segment_bits, exact_level)?;
+    let config = BloomRfConfig::new(domain_bits, layers, segment_bits, exact_level, hash_seed)?
+        .with_range_policy(range_policy)
+        .with_word_layout(word_layout);
+
+    let bits_body = take_section(bytes, &mut cur, SECTION_BITS, "bits")?;
+    let mut bc = 0usize;
+    let n_arrays = take_u32(bits_body, &mut bc)? as usize;
+    let expected_arrays = config.segment_bits.len() + usize::from(config.exact_level.is_some());
+    if n_arrays != expected_arrays {
+        return Err(DecodeError::BitArrayCorrupted { index: n_arrays });
+    }
+    let mut arrays = Vec::new();
+    for index in 0..n_arrays {
+        let len = take_u64(bits_body, &mut bc)? as usize;
+        let bv = BitVec::from_bytes(take(bits_body, &mut bc, len)?)
+            .ok_or(DecodeError::BitArrayCorrupted { index })?;
+        arrays.push(bv);
+    }
+    if bc != bits_body.len() {
+        return Err(DecodeError::BitArrayCorrupted { index: n_arrays });
+    }
+
+    // Skip (but checksum-verify) any well-formed extension sections; bytes
+    // that do not form a complete section are trailing garbage.
+    while cur != bytes.len() {
+        let remaining = bytes.len() - cur;
+        let mut probe = cur;
+        if take_u32(bytes, &mut probe).is_err() {
+            return Err(DecodeError::TrailingBytes { remaining });
+        }
+        let Ok(len) = take_u64(bytes, &mut probe) else {
+            return Err(DecodeError::TrailingBytes { remaining });
+        };
+        if (len as u128) + 4 > (bytes.len() - probe) as u128 {
+            return Err(DecodeError::TrailingBytes { remaining });
+        }
+        let tag = u32::from_le_bytes(bytes[cur..cur + 4].try_into().unwrap());
+        take_section(bytes, &mut cur, tag, "extension")?;
+    }
+    Ok(DecodedFilter {
+        config,
+        key_count,
+        arrays,
+        version: 2,
+    })
 }
 
 /// Outcome of probing a run of sibling prefixes on one layer.
@@ -959,6 +1206,9 @@ impl<S: BitStore> PointRangeFilter for BloomRf<S> {
     }
     fn may_contain_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
         self.contains_range_batch(ranges)
+    }
+    fn serialize(&self) -> Option<Vec<u8>> {
+        Some(self.to_bytes())
     }
 }
 
@@ -1252,18 +1502,68 @@ mod tests {
         assert!(BloomRf::from_bytes(b"garbage").is_err());
     }
 
+    /// Encode a filter in the legacy v1 layout (fixed field order, no
+    /// checksums, no `range_policy`/`word_layout`) — the format this crate
+    /// wrote before wire format v2. Test-only: used to pin the decode
+    /// behaviour for pre-v2 persisted bytes.
+    fn to_bytes_v1<S: crate::bitarray::BitStore>(f: &BloomRf<S>) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"BLRF");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&f.config.domain_bits.to_le_bytes());
+        out.extend_from_slice(&(f.config.layers.len() as u32).to_le_bytes());
+        for l in &f.config.layers {
+            out.extend_from_slice(&l.level.to_le_bytes());
+            out.extend_from_slice(&l.gap.to_le_bytes());
+            out.extend_from_slice(&l.replicas.to_le_bytes());
+            out.extend_from_slice(&(l.segment as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&(f.config.segment_bits.len() as u32).to_le_bytes());
+        for s in &f.config.segment_bits {
+            out.extend_from_slice(&(*s as u64).to_le_bytes());
+        }
+        let exact_level: i64 = f.config.exact_level.map(|e| e as i64).unwrap_or(-1);
+        out.extend_from_slice(&exact_level.to_le_bytes());
+        out.extend_from_slice(&f.config.hash_seed.to_le_bytes());
+        out.extend_from_slice(&f.key_count().to_le_bytes());
+        for bv in f.snapshot_bits() {
+            let bytes = bv.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Patch `value_bytes` into the config-section body at `body_offset` and
+    /// rewrite the section CRC so the corruption reaches the field
+    /// validators instead of tripping the checksum.
+    fn patch_config_field(bytes: &mut [u8], body_offset: usize, value_bytes: &[u8]) {
+        // Layout: magic(4) version(4) | hdr tag(4) len(8) body(8) crc(4) |
+        // cfg tag(4) len(8) body(len) crc(4) | ...
+        let cfg_len_at = 8 + 4 + 8 + 8 + 4 + 4;
+        let body_at = cfg_len_at + 8;
+        let len =
+            u64::from_le_bytes(bytes[cfg_len_at..cfg_len_at + 8].try_into().unwrap()) as usize;
+        bytes[body_at + body_offset..body_at + body_offset + value_bytes.len()]
+            .copy_from_slice(value_bytes);
+        let crc = crc32(&bytes[body_at..body_at + len]);
+        bytes[body_at + len..body_at + len + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn decode_errors_name_the_corruption() {
         let keys: Vec<u64> = (0..500u64).map(|i| i * 31 + 5).collect();
         let f = basic_filter(&keys, 64, 14.0, 7);
         let bytes = f.to_bytes();
 
-        // Every truncation point either reports Truncated or a corrupted
-        // trailing bit array — never a panic, never a mis-parse.
+        // Every truncation point reports a typed corruption — never a panic,
+        // never a mis-parse.
         for cut in 0..bytes.len() {
             match BloomRf::from_bytes(&bytes[..cut]) {
-                Err(DecodeError::Truncated { .. }) | Err(DecodeError::BitArrayCorrupted { .. }) => {
-                }
+                Err(DecodeError::Truncated { .. })
+                | Err(DecodeError::BitArrayCorrupted { .. })
+                | Err(DecodeError::ChecksumMismatch { .. })
+                | Err(DecodeError::MissingSection { .. }) => {}
                 other => panic!("truncation at {cut} produced {other:?}"),
             }
         }
@@ -1284,9 +1584,21 @@ mod tests {
             DecodeError::UnsupportedVersion(9)
         );
 
-        // Corrupted configuration: domain_bits = 0 fails validation.
+        // A flipped bit inside a section body is caught by the section CRC.
         let mut bad = bytes.clone();
-        bad[8..12].copy_from_slice(&0u32.to_le_bytes());
+        bad[44] ^= 0x10; // first byte of the config body (domain_bits)
+        assert!(matches!(
+            BloomRf::from_bytes(&bad).unwrap_err(),
+            DecodeError::ChecksumMismatch {
+                section: "config",
+                ..
+            }
+        ));
+
+        // Corruption that *recomputes* the CRC still fails the field
+        // validators: domain_bits = 0 is an invalid configuration.
+        let mut bad = bytes.clone();
+        patch_config_field(&mut bad, 0, &0u32.to_le_bytes());
         assert!(matches!(
             BloomRf::from_bytes(&bad).unwrap_err(),
             DecodeError::InvalidConfig(_)
@@ -1294,11 +1606,10 @@ mod tests {
 
         // A declared segment size near u64::MAX must come back as an error
         // (not overflow the config's word rounding, not attempt a giant
-        // allocation). The segment_bits field sits after the fixed header
-        // and the layer table.
+        // allocation). The segment_bits array sits after the layer table.
         let mut bad = bytes.clone();
-        let seg_bits_at = 4 + 4 + 4 + 4 + f.config().layers.len() * 16 + 4;
-        bad[seg_bits_at..seg_bits_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let seg_bits_at = 4 + 4 + f.config().layers.len() * 16 + 4;
+        patch_config_field(&mut bad, seg_bits_at, &u64::MAX.to_le_bytes());
         assert!(matches!(
             BloomRf::from_bytes(&bad).unwrap_err(),
             DecodeError::Truncated { .. }
@@ -1317,6 +1628,66 @@ mod tests {
             BloomRf::from_bytes(&[]).unwrap_err(),
             DecodeError::Truncated { offset: 0 }
         );
+    }
+
+    #[test]
+    fn well_formed_extension_sections_are_skipped() {
+        let keys: Vec<u64> = (0..200u64).map(|i| i * 97).collect();
+        let f = basic_filter(&keys, 64, 14.0, 7);
+        let mut bytes = f.to_bytes();
+        // A future writer appends an unknown-but-well-formed section: this
+        // reader verifies its checksum and skips it.
+        super::push_section(&mut bytes, 0xBEEF, b"future metadata");
+        let g = BloomRf::from_bytes(&bytes).expect("extension section should be skipped");
+        assert_eq!(g.key_count(), f.key_count());
+        // ... unless the extension itself is bit-rotted.
+        let n = bytes.len();
+        bytes[n - 6] ^= 1; // inside the extension body
+        assert!(matches!(
+            BloomRf::from_bytes(&bytes).unwrap_err(),
+            DecodeError::ChecksumMismatch {
+                section: "extension",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn v2_roundtrip_fixes_v1_false_negatives() {
+        // The regression this format exists for: a bare `from_bytes` of an
+        // alternating-layout filter. v1 bytes don't say which layout wrote
+        // the bits, so decoding them bare must *fail* rather than silently
+        // restore with forward layout and lose keys; v2 bytes round-trip.
+        let filter = BloomRf::builder()
+            .expected_keys(1500)
+            .bits_per_key(14.0)
+            .word_layout(WordLayout::Alternating)
+            .build()
+            .unwrap();
+        let keys: Vec<u64> = (0..1500).map(|i| crate::hashing::mix64(i) >> 8).collect();
+        filter.insert_batch(&keys);
+
+        // v2: bare restore is exact — zero false negatives.
+        let restored = BloomRf::from_bytes(&filter.to_bytes()).unwrap();
+        assert_eq!(restored.config().word_layout, WordLayout::Alternating);
+        for &k in &keys {
+            assert!(restored.contains_point(k), "false negative for {k}");
+        }
+
+        // v1: bare restore refuses instead of mis-decoding.
+        let legacy = to_bytes_v1(&filter);
+        assert_eq!(
+            BloomRf::from_bytes(&legacy).unwrap_err(),
+            DecodeError::AmbiguousLegacyFormat { version: 1 }
+        );
+        // With the ambiguity resolved explicitly, v1 decodes correctly.
+        let resolved = BloomRf::builder()
+            .word_layout(WordLayout::Alternating)
+            .from_bytes(&legacy)
+            .unwrap();
+        for &k in &keys {
+            assert!(resolved.contains_point(k), "false negative for {k}");
+        }
     }
 
     #[test]

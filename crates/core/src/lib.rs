@@ -81,6 +81,7 @@ pub mod advisor;
 pub mod bitarray;
 pub mod builder;
 pub mod config;
+pub mod crc32;
 pub mod dyadic;
 pub mod encode;
 pub mod error;
@@ -96,6 +97,6 @@ pub use builder::{BloomRfBuilder, BuildStore, TypedBloomRfBuilder};
 pub use config::{BloomRfConfig, LayerSpec, RangePolicy};
 pub use encode::{decode_f64, decode_i64, encode_f64, encode_i64, MultiAttrBloomRf, RangeKey};
 pub use error::{ConfigError, DecodeError};
-pub use filter::{BloomRf, ProbeStats, ShardedBloomRf};
+pub use filter::{BloomRf, ProbeStats, ShardedBloomRf, WIRE_FORMAT_VERSION, WIRE_MAGIC};
 pub use traits::{ExclusiveOnlineFilter, FilterBuilder, Locked, OnlineFilter, PointRangeFilter};
 pub use typed::{TypedBloomRf, TypedShardedBloomRf};

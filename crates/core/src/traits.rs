@@ -41,6 +41,14 @@ pub trait PointRangeFilter: Send + Sync {
             .map(|&(lo, hi)| self.may_contain_range(lo, hi))
             .collect()
     }
+
+    /// Serialize the filter payload for persistence, if the family supports
+    /// it. Storage layers that persist filter blocks call this instead of
+    /// downcasting; families without a wire format (the default) answer
+    /// `None` and are rebuilt from the key set on recovery.
+    fn serialize(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// A filter that supports *concurrent* online insertion through a shared
@@ -164,6 +172,9 @@ impl<F: ExclusiveOnlineFilter> PointRangeFilter for Locked<F> {
     }
     fn may_contain_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
         self.read().may_contain_range_batch(ranges)
+    }
+    fn serialize(&self) -> Option<Vec<u8>> {
+        self.read().serialize()
     }
 }
 

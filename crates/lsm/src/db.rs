@@ -1,13 +1,35 @@
 //! A compact LSM key-value store: memtable + level-0 SST files with filter
 //! blocks, mirroring the compaction-disabled RocksDB setup of the paper's
 //! system-level experiments.
+//!
+//! A store is either *ephemeral* ([`Db::new`], SSTs live only in memory — the
+//! original behaviour) or *durable* ([`Db::open`]): every flush additionally
+//! serializes the new SST to the store directory with an atomic
+//! write-then-rename and commits it to a MANIFEST, and reopening the
+//! directory recovers the table set, restoring persisted filter blocks
+//! instead of rebuilding them. Recovery degrades gracefully — see
+//! [`Db::open_with`] for the exact rules.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use bloomrf_filters::FilterKind;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::io::{read_with_retry, RealIo, StorageIo};
 use crate::memtable::MemTable;
+use crate::persist::{self, PersistError};
 use crate::sst::SsTable;
 use crate::stats::{IoModel, ReadStats, ReadStatsSnapshot};
+
+/// Name of the manifest file inside a store directory.
+const MANIFEST_NAME: &str = "MANIFEST";
+/// Retry budget for transient read errors during recovery.
+const READ_RETRY_ATTEMPTS: u32 = 4;
+/// Base backoff between read retries (linear: 1·b, 2·b, …).
+const READ_RETRY_BACKOFF: Duration = Duration::from_millis(1);
 
 /// Configuration of the store.
 #[derive(Clone, Debug)]
@@ -36,6 +58,16 @@ impl Default for DbOptions {
     }
 }
 
+/// Durable-store state: where SSTs are persisted and through which I/O layer.
+struct Persistence {
+    dir: PathBuf,
+    io: Arc<dyn StorageIo>,
+    /// Live SST file names in age order (the MANIFEST contents).
+    files: Mutex<Vec<String>>,
+    /// Number the next flushed SST file will get.
+    next_file_no: AtomicU64,
+}
+
 /// The LSM store.
 pub struct Db {
     options: DbOptions,
@@ -43,16 +75,19 @@ pub struct Db {
     /// Level-0 tables, oldest first (no compaction — as in the paper's setup).
     ssts: RwLock<Vec<SsTable>>,
     stats: ReadStats,
+    /// Present for durable stores opened via [`Db::open`] / [`Db::open_with`].
+    persist: Option<Persistence>,
 }
 
 impl Db {
-    /// Open an empty store.
+    /// Open an empty, ephemeral store (SSTs live only in memory).
     pub fn new(options: DbOptions) -> Self {
         Self {
             options,
             memtable: MemTable::new(),
             ssts: RwLock::new(Vec::new()),
             stats: ReadStats::new(),
+            persist: None,
         }
     }
 
@@ -65,6 +100,167 @@ impl Db {
         })
     }
 
+    /// Open (or create) a durable store at `dir` with default options,
+    /// recovering any previously flushed SSTs. See [`Db::open_with`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::open_with(dir, DbOptions::default(), Arc::new(RealIo))
+    }
+
+    /// Open (or create) a durable store at `dir` with explicit options and
+    /// I/O layer (tests inject [`crate::io::FaultyIo`] here).
+    ///
+    /// Recovery rules, in order of degradation:
+    ///
+    /// * The MANIFEST names the live SSTs. If it is corrupt, recovery falls
+    ///   back to scanning the directory for `*.sst` files in number order.
+    /// * Transient read errors are retried with bounded linear backoff
+    ///   (counted in `read_retries`).
+    /// * An SST whose *filter* section is corrupt is loaded anyway: the
+    ///   filter is quarantined and rebuilt from the verified data blocks
+    ///   (counted in `filters_quarantined` / `filters_rebuilt`).
+    /// * The *newest* SST being corrupt anywhere else is the signature of a
+    ///   crash mid-flush: the tail file is skipped and dropped from the
+    ///   manifest (counted in `tail_ssts_skipped`).
+    /// * Any *older* SST with corrupt data surfaces a typed
+    ///   [`PersistError::CorruptSst`] naming the file and section — silently
+    ///   dropping committed non-tail data is never acceptable.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: DbOptions,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        io.create_dir_all(&dir).map_err(|e| PersistError::Io {
+            path: dir.clone(),
+            source: e,
+        })?;
+        let stats = ReadStats::new();
+
+        // Discover the live file set: MANIFEST first, directory scan as the
+        // degraded fallback.
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let (mut files, mut next_file_no) = if io.exists(&manifest_path) {
+            let (bytes, retries) = read_with_retry(
+                &*io,
+                &manifest_path,
+                READ_RETRY_ATTEMPTS,
+                READ_RETRY_BACKOFF,
+            )
+            .map_err(|e| PersistError::Io {
+                path: manifest_path.clone(),
+                source: e,
+            })?;
+            stats.record_read_retries(retries);
+            match persist::decode_manifest(&bytes) {
+                Ok(listed) => listed,
+                Err(_) => Self::scan_dir(&*io, &dir)?,
+            }
+        } else {
+            Self::scan_dir(&*io, &dir)?
+        };
+        // Never reuse a file number that exists on disk, even if the
+        // manifest's counter was lost.
+        let on_disk_max = files
+            .iter()
+            .filter_map(|n| persist::parse_sst_file_name(n))
+            .max()
+            .unwrap_or(0);
+        next_file_no = next_file_no.max(on_disk_max + 1);
+
+        // Load every listed SST, oldest first. Only the tail may be skipped.
+        let mut ssts = Vec::new();
+        let mut kept: Vec<String> = Vec::new();
+        let mut skipped_tail = false;
+        let last = files.len().saturating_sub(1);
+        for (i, name) in files.iter().enumerate() {
+            let path = dir.join(name);
+            let is_tail = i == last;
+            let bytes = match read_with_retry(&*io, &path, READ_RETRY_ATTEMPTS, READ_RETRY_BACKOFF)
+            {
+                Ok((bytes, retries)) => {
+                    stats.record_read_retries(retries);
+                    bytes
+                }
+                Err(e) if is_tail && e.kind() == std::io::ErrorKind::NotFound => {
+                    stats.record_tail_sst_skipped();
+                    skipped_tail = true;
+                    continue;
+                }
+                Err(e) => return Err(PersistError::Io { path, source: e }),
+            };
+            match SsTable::from_bytes(&bytes, &stats) {
+                Ok(sst) => {
+                    ssts.push(sst);
+                    kept.push(name.clone());
+                }
+                Err(_) if is_tail => {
+                    stats.record_tail_sst_skipped();
+                    skipped_tail = true;
+                    let _ = io.remove(&path);
+                }
+                Err(corruption) => {
+                    return Err(PersistError::CorruptSst {
+                        path,
+                        source: corruption,
+                    })
+                }
+            }
+        }
+
+        // Remove leftover temporaries from interrupted writes.
+        if let Ok(listing) = io.list(&dir) {
+            for path in listing {
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    let _ = io.remove(&path);
+                }
+            }
+        }
+
+        files = kept;
+        let persistence = Persistence {
+            dir,
+            io,
+            files: Mutex::new(files),
+            next_file_no: AtomicU64::new(next_file_no),
+        };
+        // If the tail was dropped, commit the cleaned manifest right away so
+        // the next open starts from a consistent state.
+        if skipped_tail && persistence.write_manifest().is_err() {
+            stats.record_persist_failure();
+        }
+
+        Ok(Self {
+            options,
+            memtable: MemTable::new(),
+            ssts: RwLock::new(ssts),
+            stats,
+            persist: Some(persistence),
+        })
+    }
+
+    /// Degraded manifest recovery: list `*.sst` files in number order.
+    fn scan_dir(io: &dyn StorageIo, dir: &Path) -> Result<(Vec<String>, u64), PersistError> {
+        let listing = io.list(dir).map_err(|e| PersistError::Io {
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        let mut numbered: Vec<(u64, String)> = listing
+            .iter()
+            .filter_map(|p| {
+                let name = p.file_name()?.to_str()?;
+                Some((persist::parse_sst_file_name(name)?, name.to_string()))
+            })
+            .collect();
+        numbered.sort();
+        let next = numbered.last().map_or(1, |&(n, _)| n + 1);
+        Ok((numbered.into_iter().map(|(_, n)| n).collect(), next))
+    }
+
+    /// The directory this store persists to, if it is durable.
+    pub fn path(&self) -> Option<&Path> {
+        self.persist.as_ref().map(|p| p.dir.as_path())
+    }
+
     /// Store a key-value pair; flushes the memtable when it reaches the
     /// configured size.
     pub fn put(&self, key: u64, value: Vec<u8>) {
@@ -74,7 +270,10 @@ impl Db {
         }
     }
 
-    /// Force-flush the memtable into a new level-0 SST.
+    /// Force-flush the memtable into a new level-0 SST. For durable stores
+    /// the SST is also serialized to disk (atomic write-then-rename) and
+    /// committed to the MANIFEST; if persistence fails the flush degrades to
+    /// memory-only and the failure is counted in `persist_failures`.
     pub fn flush(&self) {
         let entries = self.memtable.drain_sorted();
         if entries.is_empty() {
@@ -86,6 +285,11 @@ impl Db {
             self.options.filter_kind,
             self.options.bits_per_key,
         );
+        if let Some(p) = &self.persist {
+            if p.persist_sst(&sst).is_err() {
+                self.stats.record_persist_failure();
+            }
+        }
         self.ssts.write().push(sst);
     }
 
@@ -270,6 +474,39 @@ impl Db {
     /// The configured options.
     pub fn options(&self) -> &DbOptions {
         &self.options
+    }
+}
+
+impl Persistence {
+    /// Write `data` to `<dir>/<name>` atomically: the bytes go to a `.tmp`
+    /// sibling first and are renamed into place, so a crash leaves either the
+    /// old file or the new one, never a torn live file.
+    fn write_atomic(&self, name: &str, data: &[u8]) -> Result<(), PersistError> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let path = self.dir.join(name);
+        self.io.write(&tmp, data).map_err(|e| PersistError::Io {
+            path: tmp.clone(),
+            source: e,
+        })?;
+        self.io
+            .rename(&tmp, &path)
+            .map_err(|e| PersistError::Io { path, source: e })
+    }
+
+    /// Commit the current file list to the MANIFEST.
+    fn write_manifest(&self) -> Result<(), PersistError> {
+        let files = self.files.lock().clone();
+        let manifest = persist::encode_manifest(&files, self.next_file_no.load(Ordering::Relaxed));
+        self.write_atomic(MANIFEST_NAME, &manifest)
+    }
+
+    /// Persist a freshly built SST and commit it to the MANIFEST.
+    fn persist_sst(&self, sst: &SsTable) -> Result<(), PersistError> {
+        let n = self.next_file_no.fetch_add(1, Ordering::Relaxed);
+        let name = persist::sst_file_name(n);
+        self.write_atomic(&name, &sst.to_bytes())?;
+        self.files.lock().push(name);
+        self.write_manifest()
     }
 }
 

@@ -19,24 +19,38 @@
 //!   [`bloomrf::encode::RangeKey`] key type (floats, signed integers, byte
 //!   strings, attribute pairs), delegating to the `u64` core through the
 //!   codec.
-//! * [`stats`] — the simulated I/O cost model and read-path counters.
+//! * [`stats`] — the simulated I/O cost model and read-path counters,
+//!   including recovery counters (filters quarantined/rebuilt, tail SSTs
+//!   skipped, read retries, persistence failures).
+//! * [`persist`] — durable on-disk formats: checksummed `BSST` SST files and
+//!   the MANIFEST, both committed by atomic write-then-rename.
+//! * [`io`] — the [`io::StorageIo`] abstraction the persistence layer runs
+//!   on, with [`io::FaultyIo`] injecting deterministic, seed-driven faults
+//!   (torn tail writes, bit flips, transient read errors) to exercise the
+//!   recovery path.
 //!
-//! Substitution note (see DESIGN.md): SST blocks live in memory and block
-//! reads are charged a configurable latency instead of hitting a disk. The
-//! decision structure of the read path (filter probe → index → block reads) is
-//! identical to RocksDB's, so relative filter behaviour is preserved while
-//! experiments stay deterministic.
+//! Substitution note (see DESIGN.md): *query-path* I/O stays simulated — SST
+//! blocks are served from memory and block reads are charged a configurable
+//! latency instead of hitting a disk, so the decision structure of the read
+//! path (filter probe → index → block reads) is identical to RocksDB's while
+//! experiments stay deterministic. Durability is real, though: a store opened
+//! with [`db::Db::open`] persists every flushed SST and recovers the table
+//! set — surviving injected corruption gracefully — on reopen.
 
 #![warn(missing_docs)]
 
 pub mod db;
+pub mod io;
 pub mod memtable;
+pub mod persist;
 pub mod sst;
 pub mod stats;
 pub mod typed;
 
 pub use db::{Db, DbOptions};
+pub use io::{FaultConfig, FaultyIo, RealIo, StorageIo};
 pub use memtable::MemTable;
+pub use persist::{Corruption, PersistError};
 pub use sst::SsTable;
 pub use stats::{IoModel, ReadStats, ReadStatsSnapshot};
 pub use typed::TypedDb;

@@ -13,6 +13,7 @@ use bloomrf_filters::FilterKind;
 use bytes::{BufMut, Bytes, BytesMut};
 use std::time::Instant;
 
+use crate::persist::{self, Corruption};
 use crate::stats::{IoModel, ReadStats};
 
 /// One immutable sorted run with a filter block.
@@ -26,6 +27,11 @@ pub struct SsTable {
     /// Smallest and largest key of the table.
     key_range: (u64, u64),
     num_entries: usize,
+    /// Filter family the table was built with (persisted so recovery can
+    /// rebuild the filter block from data blocks if its bytes rot).
+    filter_kind: FilterKind,
+    /// Filter space budget the table was built with.
+    bits_per_key: f64,
     /// Time spent building + serializing the filter (Fig. 12.C).
     filter_build_time: std::time::Duration,
 }
@@ -76,8 +82,71 @@ impl SsTable {
             filter,
             key_range: (keys[0], *keys.last().unwrap()),
             num_entries: entries.len(),
+            filter_kind,
+            bits_per_key,
             filter_build_time,
         }
+    }
+
+    /// Serialize the table into the durable `BSST` v1 file format (see
+    /// [`crate::persist`]): data blocks, fence-pointer index and — for filter
+    /// families with a wire format — the filter block itself, each section
+    /// protected by a CRC-32 checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let filter_bytes = self.filter.serialize();
+        persist::encode_sst(
+            &self.blocks,
+            &self.index,
+            self.num_entries,
+            self.key_range,
+            self.filter_kind,
+            self.bits_per_key,
+            filter_bytes.as_deref(),
+        )
+    }
+
+    /// Decode and fully verify a persisted table (recovery path).
+    ///
+    /// Every section is checksum- and structure-verified before the table is
+    /// accepted. The filter block degrades gracefully: if its persisted bytes
+    /// fail to decode it is *quarantined* and a replacement is rebuilt from
+    /// the already-verified data blocks (recorded in `stats` as
+    /// `filters_quarantined` / `filters_rebuilt`); families that never
+    /// persist their filter are always rebuilt. Corruption anywhere else is a
+    /// hard error — the caller decides whether the file is a skippable tail.
+    pub fn from_bytes(bytes: &[u8], stats: &ReadStats) -> Result<Self, Corruption> {
+        let decoded = persist::decode_sst(bytes)?;
+        let start = Instant::now();
+        let rebuild = |quarantined: bool| -> Box<dyn PointRangeFilter> {
+            if quarantined {
+                stats.record_filter_quarantined();
+            }
+            stats.record_filter_rebuilt();
+            decoded
+                .filter_kind
+                .build(&decoded.keys, decoded.bits_per_key)
+        };
+        let filter: Box<dyn PointRangeFilter> = if decoded.filter_damaged {
+            rebuild(true)
+        } else {
+            match &decoded.filter_bytes {
+                Some(fb) => match bloomrf::BloomRf::from_bytes(fb) {
+                    Ok(f) => Box::new(f),
+                    Err(_) => rebuild(true),
+                },
+                None => rebuild(false),
+            }
+        };
+        Ok(Self {
+            blocks: decoded.blocks,
+            index: decoded.index,
+            filter,
+            key_range: decoded.key_range,
+            num_entries: decoded.num_entries,
+            filter_kind: decoded.filter_kind,
+            bits_per_key: decoded.bits_per_key,
+            filter_build_time: start.elapsed(),
+        })
     }
 
     /// Number of entries.

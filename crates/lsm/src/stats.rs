@@ -50,6 +50,19 @@ pub struct ReadStats {
     pub io_wait_ns: AtomicU64,
     /// Nanoseconds spent searching/deserializing data blocks (CPU residual).
     pub cpu_ns: AtomicU64,
+    /// Filter blocks whose persisted bytes failed verification on recovery
+    /// and were set aside (each one is also counted in `filters_rebuilt`
+    /// once its replacement has been constructed).
+    pub filters_quarantined: AtomicU64,
+    /// Filter blocks rebuilt from verified data blocks during recovery
+    /// (quarantined blocks plus families that never persist their filter).
+    pub filters_rebuilt: AtomicU64,
+    /// Incomplete tail SSTs (torn by a crash mid-flush) skipped on recovery.
+    pub tail_ssts_skipped: AtomicU64,
+    /// Transient read errors that were retried successfully.
+    pub read_retries: AtomicU64,
+    /// Flushes whose persistence step failed (the SST stays memory-only).
+    pub persist_failures: AtomicU64,
 }
 
 impl ReadStats {
@@ -69,6 +82,11 @@ impl ReadStats {
             &self.filter_probe_ns,
             &self.io_wait_ns,
             &self.cpu_ns,
+            &self.filters_quarantined,
+            &self.filters_rebuilt,
+            &self.tail_ssts_skipped,
+            &self.read_retries,
+            &self.persist_failures,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -104,6 +122,31 @@ impl ReadStats {
         self.false_positives.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a filter block quarantined (persisted bytes failed verification).
+    pub fn record_filter_quarantined(&self) {
+        self.filters_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a filter block rebuilt from verified data blocks.
+    pub fn record_filter_rebuilt(&self) {
+        self.filters_rebuilt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an incomplete tail SST skipped during recovery.
+    pub fn record_tail_sst_skipped(&self) {
+        self.tail_ssts_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` transient read errors that bounded retry absorbed.
+    pub fn record_read_retries(&self, n: u64) {
+        self.read_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a failed persistence attempt (flush kept memory-only).
+    pub fn record_persist_failure(&self) {
+        self.persist_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot into a plain struct.
     pub fn snapshot(&self) -> ReadStatsSnapshot {
         ReadStatsSnapshot {
@@ -115,6 +158,11 @@ impl ReadStats {
             filter_probe_ns: self.filter_probe_ns.load(Ordering::Relaxed),
             io_wait_ns: self.io_wait_ns.load(Ordering::Relaxed),
             cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+            filters_quarantined: self.filters_quarantined.load(Ordering::Relaxed),
+            filters_rebuilt: self.filters_rebuilt.load(Ordering::Relaxed),
+            tail_ssts_skipped: self.tail_ssts_skipped.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -138,6 +186,16 @@ pub struct ReadStatsSnapshot {
     pub io_wait_ns: u64,
     /// Residual CPU time (ns).
     pub cpu_ns: u64,
+    /// Filter blocks quarantined on recovery.
+    pub filters_quarantined: u64,
+    /// Filter blocks rebuilt from verified data blocks.
+    pub filters_rebuilt: u64,
+    /// Incomplete tail SSTs skipped on recovery.
+    pub tail_ssts_skipped: u64,
+    /// Transient read errors absorbed by bounded retry.
+    pub read_retries: u64,
+    /// Failed persistence attempts.
+    pub persist_failures: u64,
 }
 
 impl ReadStatsSnapshot {
@@ -185,6 +243,25 @@ mod tests {
         stats.reset();
         assert_eq!(stats.snapshot(), ReadStatsSnapshot::default());
         assert_eq!(ReadStatsSnapshot::default().observed_fpr(), 0.0);
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_and_reset() {
+        let stats = ReadStats::new();
+        stats.record_filter_quarantined();
+        stats.record_filter_rebuilt();
+        stats.record_filter_rebuilt();
+        stats.record_tail_sst_skipped();
+        stats.record_read_retries(3);
+        stats.record_persist_failure();
+        let snap = stats.snapshot();
+        assert_eq!(snap.filters_quarantined, 1);
+        assert_eq!(snap.filters_rebuilt, 2);
+        assert_eq!(snap.tail_ssts_skipped, 1);
+        assert_eq!(snap.read_retries, 3);
+        assert_eq!(snap.persist_failures, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), ReadStatsSnapshot::default());
     }
 
     #[test]
