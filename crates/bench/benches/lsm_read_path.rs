@@ -18,6 +18,7 @@ fn build_db(kind: FilterKind) -> (Db, Vec<u64>) {
         filter_kind: kind,
         bits_per_key: 22.0,
         io_model: IoModel::default(),
+        ..Default::default()
     });
     for &k in &keys {
         db.put(k, vec![0u8; 64]);

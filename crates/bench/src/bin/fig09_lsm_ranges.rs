@@ -18,6 +18,7 @@ fn load_db(kind: FilterKind, bits_per_key: f64, workload: &YcsbEWorkload) -> Db 
         filter_kind: kind,
         bits_per_key,
         io_model: IoModel::default(),
+        ..Default::default()
     });
     for &k in &workload.load_keys {
         db.put(k, workload.value_for(k));

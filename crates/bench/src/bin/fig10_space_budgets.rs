@@ -47,6 +47,7 @@ fn main() {
                     filter_kind: kind,
                     bits_per_key: bpk,
                     io_model: IoModel::default(),
+                    ..Default::default()
                 });
                 for &k in &keys {
                     db.put(k, vec![0u8; 16]);

@@ -34,6 +34,7 @@ fn main() {
                 filter_kind: kind,
                 bits_per_key: bpk,
                 io_model: IoModel::default(),
+                ..Default::default()
             });
             let (_, _load_secs) = timed(|| {
                 for &k in &keys {

@@ -1,0 +1,212 @@
+//! Fan-in scaling: per-lookup filter probes and wall time as the SST count
+//! grows 10 → 10 000, scan-all vs Bloofi-style filter-tree routing.
+//!
+//! The paper's LSM integration probes every table's filter per read; this
+//! experiment shows where that breaks (cost grows linearly in the segment
+//! count) and what the filter tree buys (O(fan-out · depth) probes). Keys
+//! are a multiplicative permutation of the domain, so every SST spans the
+//! whole keyspace and pruning comes from the tree's *filters*, not from
+//! disjoint fence ranges.
+//!
+//! Run with: `cargo run --release --bin fig_fanin_scaling`
+//! (`QUICK=1` caps the sweep at 1 000 segments for CI smoke runs.)
+//!
+//! # Snapshot format (`BENCH_fanin.json`)
+//!
+//! Besides the usual `results/fig_fanin_scaling.csv`, the run emits a
+//! committed JSON snapshot — the repo's first recorded perf trajectory
+//! (ROADMAP item 3). Schema `fanin_scaling_v1`:
+//!
+//! ```json
+//! {
+//!   "snapshot": "fanin_scaling_v1",
+//!   "config": { "keys_per_segment": .., "bits_per_key": ..,
+//!               "fanout": .., "point_queries": .., "range_queries": .. },
+//!   "rows": [ { "segments": .., "routing": "scan|tree",
+//!               "filters_probed_per_lookup": ..,   // per-SST + tree nodes
+//!               "ssts_probed_per_lookup": ..,      // tables selected
+//!               "ssts_pruned_per_lookup": ..,      // tables never touched
+//!               "pruning_ratio": ..,
+//!               "point_ns_per_lookup": .., "range_ns_per_lookup": ..,
+//!               "tree_levels": .., "tree_nodes": .. }, .. ]
+//! }
+//! ```
+//!
+//! The snapshot path defaults to `BENCH_fanin.json` in the working
+//! directory (the workspace root under `cargo run`); override with the
+//! `BENCH_SNAPSHOT` environment variable.
+
+use bloomrf_bench::{sig, timed, ExpScale, Report};
+use bloomrf_filters::FilterKind;
+use bloomrf_lsm::{Db, DbOptions, IoModel, ReadRouting, TreeOptions};
+
+const KEYS_PER_SEGMENT: usize = 64;
+const BITS_PER_KEY: f64 = 16.0;
+const FANOUT: usize = 16;
+
+/// Deterministic multiplicative permutation: unique pseudo-random keys.
+fn key_of(j: u64) -> u64 {
+    j.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+fn build_db(segments: usize, routing: ReadRouting) -> Db {
+    let db = Db::new(DbOptions {
+        memtable_flush_entries: KEYS_PER_SEGMENT,
+        entries_per_block: 8,
+        filter_kind: FilterKind::BloomRf { max_range: 1e6 },
+        bits_per_key: BITS_PER_KEY,
+        io_model: IoModel::default(),
+        routing,
+    });
+    for j in 0..(segments * KEYS_PER_SEGMENT) as u64 {
+        db.put(key_of(j), vec![(j % 251) as u8; 8]);
+    }
+    assert_eq!(db.num_ssts(), segments);
+    db
+}
+
+struct RowStats {
+    filters_probed_per_lookup: f64,
+    ssts_probed_per_lookup: f64,
+    ssts_pruned_per_lookup: f64,
+    pruning_ratio: f64,
+    point_ns: f64,
+    range_ns: f64,
+    tree_levels: usize,
+    tree_nodes: usize,
+}
+
+fn run(db: &Db, segments: usize, n_points: usize, n_ranges: usize) -> RowStats {
+    let n_keys = (segments * KEYS_PER_SEGMENT) as u64;
+    // Half present, half absent point lookups; absent keys are fresh
+    // permutation values outside the loaded prefix.
+    let points: Vec<u64> = (0..n_points as u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                key_of(i.wrapping_mul(7919) % n_keys)
+            } else {
+                key_of(n_keys + i)
+            }
+        })
+        .collect();
+    // Short ranges anchored at absent keys: empty with near certainty in a
+    // 2^64 domain, the worst case a range filter must prune.
+    let ranges: Vec<(u64, u64)> = (0..n_ranges as u64)
+        .map(|i| {
+            let lo = key_of(n_keys + n_points as u64 + i);
+            (lo, lo.saturating_add(1 << 10))
+        })
+        .collect();
+
+    db.reset_stats();
+    let (_, point_secs) = timed(|| {
+        for &k in &points {
+            std::hint::black_box(db.get(k));
+        }
+    });
+    let (_, range_secs) = timed(|| {
+        for &(lo, hi) in &ranges {
+            std::hint::black_box(db.range_is_possibly_non_empty(lo, hi));
+        }
+    });
+    let stats = db.stats();
+    let lookups = (points.len() + ranges.len()) as f64;
+    let (tree_levels, tree_nodes, _bits) = db.tree_shape().unwrap_or((0, 0, 0));
+    RowStats {
+        filters_probed_per_lookup: (stats.filter_probes + stats.tree_probes) as f64 / lookups,
+        ssts_probed_per_lookup: stats.ssts_probed as f64 / lookups,
+        ssts_pruned_per_lookup: stats.ssts_pruned as f64 / lookups,
+        pruning_ratio: stats.pruning_ratio(),
+        point_ns: point_secs * 1e9 / points.len() as f64,
+        range_ns: range_secs * 1e9 / ranges.len() as f64,
+        tree_levels,
+        tree_nodes,
+    }
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let n_points = scale.queries(2_000);
+    let n_ranges = scale.queries(1_000);
+    let sweep: &[usize] = if scale.quick {
+        &[10, 100, 1_000] // CI smoke: ≤ 1k segments
+    } else {
+        &[10, 100, 1_000, 10_000]
+    };
+
+    let mut report = Report::new(
+        "fig_fanin_scaling",
+        &[
+            "segments",
+            "routing",
+            "filters_probed_per_lookup",
+            "ssts_probed_per_lookup",
+            "ssts_pruned_per_lookup",
+            "pruning_ratio",
+            "point_ns_per_lookup",
+            "range_ns_per_lookup",
+            "tree_levels",
+            "tree_nodes",
+        ],
+    );
+    let mut json_rows = Vec::new();
+
+    for &segments in sweep {
+        for (label, routing) in [
+            ("scan", ReadRouting::ScanAll),
+            (
+                "tree",
+                ReadRouting::FilterTree(TreeOptions {
+                    fanout: FANOUT,
+                    leaf_keys: None,
+                    bits_per_key: None,
+                }),
+            ),
+        ] {
+            let db = build_db(segments, routing);
+            let row = run(&db, segments, n_points, n_ranges);
+            report.push(&[
+                segments.to_string(),
+                label.to_string(),
+                sig(row.filters_probed_per_lookup),
+                sig(row.ssts_probed_per_lookup),
+                sig(row.ssts_pruned_per_lookup),
+                sig(row.pruning_ratio),
+                sig(row.point_ns),
+                sig(row.range_ns),
+                row.tree_levels.to_string(),
+                row.tree_nodes.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{ \"segments\": {segments}, \"routing\": \"{label}\", \
+                 \"filters_probed_per_lookup\": {:.2}, \
+                 \"ssts_probed_per_lookup\": {:.2}, \
+                 \"ssts_pruned_per_lookup\": {:.2}, \
+                 \"pruning_ratio\": {:.4}, \
+                 \"point_ns_per_lookup\": {:.0}, \
+                 \"range_ns_per_lookup\": {:.0}, \
+                 \"tree_levels\": {}, \"tree_nodes\": {} }}",
+                row.filters_probed_per_lookup,
+                row.ssts_probed_per_lookup,
+                row.ssts_pruned_per_lookup,
+                row.pruning_ratio,
+                row.point_ns,
+                row.range_ns,
+                row.tree_levels,
+                row.tree_nodes,
+            ));
+        }
+    }
+    report.finish();
+
+    let snapshot = format!(
+        "{{\n  \"snapshot\": \"fanin_scaling_v1\",\n  \"config\": {{ \
+         \"keys_per_segment\": {KEYS_PER_SEGMENT}, \"bits_per_key\": {BITS_PER_KEY}, \
+         \"fanout\": {FANOUT}, \"point_queries\": {n_points}, \
+         \"range_queries\": {n_ranges} }},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+    );
+    let path = std::env::var("BENCH_SNAPSHOT").unwrap_or_else(|_| "BENCH_fanin.json".into());
+    std::fs::write(&path, snapshot).expect("write snapshot");
+    println!("[written] {path}");
+}

@@ -9,7 +9,10 @@
 //!   (e.g. `SCALE=10 cargo run --release --bin fig10_space_budgets`);
 //! * `QUICK=1` shrinks the run further for smoke testing;
 //! * results are printed as aligned tables on stdout *and* written as CSV into
-//!   `results/<experiment>.csv`.
+//!   `results/<experiment>.csv`;
+//! * experiments that feed a committed perf-trajectory snapshot (currently
+//!   `fig_fanin_scaling` → `BENCH_fanin.json`) additionally emit a versioned
+//!   JSON document; the schema lives in the emitting binary's module docs.
 
 use std::fmt::Write as _;
 use std::fs;

@@ -60,6 +60,24 @@ pub trait BitStore: Send + Sync + std::fmt::Debug {
 
     /// Copy the current contents into a plain [`BitVec`].
     fn snapshot(&self) -> BitVec;
+
+    /// OR every set bit of `other` into this store (set union of the two bit
+    /// sets). Both stores must have the same capacity. Zero words of the
+    /// source are skipped, so unioning a sparse snapshot touches only the
+    /// words that carry bits; concurrent readers may observe the union
+    /// partially applied (the same relaxed visibility as [`BitStore::set`]).
+    fn union_from(&self, other: &BitVec) {
+        assert_eq!(
+            other.capacity_bits(),
+            self.capacity_bits(),
+            "bit-store union requires equal capacities"
+        );
+        for (i, word) in other.words().iter().enumerate() {
+            if *word != 0 {
+                self.or_word(i * 64, 64, *word);
+            }
+        }
+    }
 }
 
 /// Round a bit count up to a whole number of 64-bit words.
@@ -852,6 +870,40 @@ mod tests {
         for i in (0..4000u64).step_by(2) {
             assert!(BitStore::get(&*bits, ((i * 7) % (64 * 1024)) as usize));
         }
+    }
+
+    #[test]
+    fn union_from_merges_bits_on_both_backends() {
+        let src_flat = AtomicBits::new(1024);
+        let src_sharded = ShardedAtomicBits::new(1024, 4);
+        for i in (0..1024).step_by(13) {
+            src_flat.set(i);
+            BitStore::set(&src_sharded, i);
+        }
+        let snap = src_flat.snapshot();
+        assert_eq!(snap, BitStore::snapshot(&src_sharded));
+
+        let dst_flat = AtomicBits::new(1024);
+        dst_flat.set(5);
+        let dst_sharded = ShardedAtomicBits::new(1024, 4);
+        BitStore::set(&dst_sharded, 5);
+        dst_flat.union_from(&snap);
+        dst_sharded.union_from(&snap);
+        for i in 0..1024usize {
+            let want = i == 5 || i % 13 == 0;
+            assert_eq!(dst_flat.get(i), want, "flat bit {i}");
+            assert_eq!(BitStore::get(&dst_sharded, i), want, "sharded bit {i}");
+        }
+        // Union is idempotent.
+        dst_flat.union_from(&snap);
+        assert_eq!(dst_flat.snapshot(), BitStore::snapshot(&dst_sharded));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal capacities")]
+    fn union_from_rejects_capacity_mismatch() {
+        let dst = AtomicBits::new(128);
+        dst.union_from(&BitVec::new(256));
     }
 
     #[test]

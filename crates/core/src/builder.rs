@@ -30,7 +30,7 @@ use crate::advisor::TuningAdvisor;
 use crate::bitarray::{AtomicBits, BitStore, ShardedAtomicBits, DEFAULT_SHARDS};
 use crate::config::{BloomRfConfig, RangePolicy};
 use crate::encode::RangeKey;
-use crate::error::{ConfigError, DecodeError};
+use crate::error::{ConfigError, DecodeError, MergeError};
 use crate::filter::BloomRf;
 use crate::hashing::WordLayout;
 use crate::traits::FilterBuilder;
@@ -261,6 +261,36 @@ impl<S: BuildStore> BloomRfBuilder<S> {
         BloomRf::from_bytes_knobs(bytes, self.range_policy, self.word_layout, |bits| {
             S::make(bits, shards)
         })
+    }
+
+    /// Aggregate constructor: build one filter holding the union of `parts`
+    /// (a Bloofi-style inner node — it answers *maybe* for every key and
+    /// range any part answers *maybe* for). All parts must share the same
+    /// configuration, which the aggregate adopts verbatim; the builder
+    /// contributes only the storage backend (flat or
+    /// [`BloomRfBuilder::sharded`]). The parts' backend may differ from the
+    /// aggregate's.
+    ///
+    /// ```
+    /// use bloomrf::BloomRf;
+    ///
+    /// let cfg = bloomrf::BloomRfConfig::basic(64, 1000, 14.0, 7).unwrap();
+    /// let a = BloomRf::new(cfg.clone()).unwrap();
+    /// let b = BloomRf::new(cfg).unwrap();
+    /// a.insert(7);
+    /// b.insert(4711);
+    /// let node = BloomRf::builder().union_of(&[&a, &b]).unwrap();
+    /// assert!(node.contains_point(7) && node.contains_point(4711));
+    /// ```
+    pub fn union_of<S2: BitStore>(self, parts: &[&BloomRf<S2>]) -> Result<BloomRf<S>, MergeError> {
+        let first = parts.first().ok_or(MergeError::EmptyAggregate)?;
+        let shards = self.shards;
+        let aggregate = BloomRf::with_store(first.config().clone(), |bits| S::make(bits, shards))
+            .expect("the configuration of an existing filter is always valid");
+        for part in parts {
+            aggregate.merge_from(part)?;
+        }
+        Ok(aggregate)
     }
 }
 
@@ -590,6 +620,47 @@ mod tests {
         for &k in &keys {
             assert!(forced.contains_point(k), "false negative for {k}");
         }
+    }
+
+    #[test]
+    fn union_of_aggregates_same_config_filters() {
+        let cfg = BloomRfConfig::basic(64, 1000, 14.0, 7).unwrap();
+        let parts: Vec<BloomRf> = (0..4u64)
+            .map(|p| {
+                let f = BloomRf::new(cfg.clone()).unwrap();
+                let keys: Vec<u64> = (0..500)
+                    .map(|i| crate::hashing::mix64(p * 1000 + i))
+                    .collect();
+                f.insert_batch(&keys);
+                f
+            })
+            .collect();
+        let refs: Vec<&BloomRf> = parts.iter().collect();
+        let node = BloomRf::builder().union_of(&refs).unwrap();
+        assert_eq!(node.config(), &cfg);
+        assert_eq!(node.key_count(), 2000);
+        for p in 0..4u64 {
+            for i in 0..500 {
+                assert!(node.contains_point(crate::hashing::mix64(p * 1000 + i)));
+            }
+        }
+        // The sharded aggregate is bit-identical to the flat one.
+        let sharded = BloomRf::builder().sharded(4).union_of(&refs).unwrap();
+        assert_eq!(sharded.snapshot_bits(), node.snapshot_bits());
+
+        // Empty input and mismatched configs are typed errors.
+        let none: Vec<&BloomRf> = Vec::new();
+        assert_eq!(
+            BloomRf::builder().union_of(&none).unwrap_err(),
+            crate::error::MergeError::EmptyAggregate
+        );
+        let other = BloomRf::new(cfg.with_seed(12345)).unwrap();
+        assert!(matches!(
+            BloomRf::builder()
+                .union_of(&[&parts[0], &other])
+                .unwrap_err(),
+            crate::error::MergeError::ConfigMismatch { field: "hash_seed" }
+        ));
     }
 
     #[test]

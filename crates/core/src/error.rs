@@ -202,6 +202,42 @@ impl From<ConfigError> for DecodeError {
     }
 }
 
+/// Errors produced while unioning filters ([`crate::BloomRf::merge_from`] and
+/// the builder's aggregate constructor). Two bloomRF filters can only be
+/// merged bit-by-bit when they were built from the *same* configuration —
+/// same layers, segment sizes, hash seed, word layout — otherwise the same
+/// key maps to different bit positions in the two filters and the union would
+/// silently lose keys (false negatives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two filters were built from different configurations.
+    ConfigMismatch {
+        /// First differing configuration aspect detected (`"domain_bits"`,
+        /// `"layers"`, `"segment_bits"`, `"exact_level"`, `"hash_seed"`,
+        /// `"range_policy"`, `"word_layout"`).
+        field: &'static str,
+    },
+    /// The aggregate constructor was given no filters to union.
+    EmptyAggregate,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::ConfigMismatch { field } => write!(
+                f,
+                "cannot union filters with different configurations (first mismatch: {field}); \
+                 merging requires identical layers, segments, seed and layout"
+            ),
+            MergeError::EmptyAggregate => {
+                write!(f, "an aggregate filter needs at least one input filter")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +345,17 @@ mod tests {
         let wrapped: DecodeError = ConfigError::NoLayers.into();
         assert!(wrapped.source().is_some());
         assert!(DecodeError::BadMagic.source().is_none());
+    }
+
+    #[test]
+    fn merge_error_messages() {
+        use std::error::Error as _;
+        let mismatch = MergeError::ConfigMismatch { field: "hash_seed" };
+        assert!(mismatch.to_string().contains("hash_seed"));
+        assert!(mismatch.to_string().contains("different configurations"));
+        assert!(MergeError::EmptyAggregate
+            .to_string()
+            .contains("at least one"));
+        assert!(mismatch.source().is_none());
     }
 }

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::bitarray::{mask_between, AtomicBits, BitStore, BitVec, ShardedAtomicBits};
 use crate::config::{BloomRfConfig, RangePolicy};
 use crate::crc32::crc32;
-use crate::error::{ConfigError, DecodeError};
+use crate::error::{ConfigError, DecodeError, MergeError};
 use crate::hashing::{derive_seeds, shl, shr, HashKind, Pmhf, WordLayout};
 use crate::traits::{OnlineFilter, PointRangeFilter};
 
@@ -885,6 +885,59 @@ impl<S: BitStore> BloomRf<S> {
             or_into(exact, &arrays[expected - 1], expected - 1)?;
         }
         Ok(())
+    }
+
+    /// Union another filter into this one: after `a.merge_from(&b)`, `a`
+    /// answers *maybe* for every key and range either filter answered *maybe*
+    /// for (the merged filter is exactly the filter that would result from
+    /// inserting both key sets into one filter — bloomRF writes are ORs, so
+    /// the union of the bit sets is the filter of the union of the key sets).
+    ///
+    /// This is the aggregation primitive of Bloofi-style filter trees: an
+    /// inner tree node holds the union of its children's filters, so one
+    /// negative probe prunes the whole subtree.
+    ///
+    /// Both filters must share the *same* configuration (layers, segment
+    /// sizes, hash seed, word layout — checked field by field, reported via
+    /// [`MergeError::ConfigMismatch`]); otherwise the same key would map to
+    /// different bit positions and the union would silently produce false
+    /// negatives. The storage backends may differ (e.g. merging a flat
+    /// filter into a sharded one).
+    pub fn merge_from<S2: BitStore>(&self, other: &BloomRf<S2>) -> Result<(), MergeError> {
+        if let Some(field) = config_mismatch(&self.config, &other.config) {
+            return Err(MergeError::ConfigMismatch { field });
+        }
+        let arrays = other.snapshot_bits();
+        for (seg, bv) in self.segments.iter().zip(arrays.iter()) {
+            seg.union_from(bv);
+        }
+        if let Some(exact) = &self.exact {
+            exact.union_from(arrays.last().expect("exact bitmap snapshot present"));
+        }
+        self.key_count
+            .fetch_add(other.key_count(), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// First configuration field (by name) on which `a` and `b` disagree, if any.
+fn config_mismatch(a: &BloomRfConfig, b: &BloomRfConfig) -> Option<&'static str> {
+    if a.domain_bits != b.domain_bits {
+        Some("domain_bits")
+    } else if a.layers != b.layers {
+        Some("layers")
+    } else if a.segment_bits != b.segment_bits {
+        Some("segment_bits")
+    } else if a.exact_level != b.exact_level {
+        Some("exact_level")
+    } else if a.hash_seed != b.hash_seed {
+        Some("hash_seed")
+    } else if a.range_policy != b.range_policy {
+        Some("range_policy")
+    } else if a.word_layout != b.word_layout {
+        Some("word_layout")
+    } else {
+        None
     }
 }
 
@@ -1884,5 +1937,108 @@ mod tests {
         let _ = ans;
         assert!(stats.layers_visited > 0);
         assert!(stats.word_accesses + stats.bit_checks > 0);
+    }
+
+    #[test]
+    fn merge_from_is_the_filter_of_the_union_of_key_sets() {
+        let keys_a: Vec<u64> = (0..2000u64).map(crate::hashing::mix64).collect();
+        let keys_b: Vec<u64> = (0..2000u64)
+            .map(|i| crate::hashing::mix64(i ^ 0x5EED))
+            .collect();
+        let cfg = BloomRfConfig::basic(64, 4000, 14.0, 7).unwrap();
+
+        let a = BloomRf::new(cfg.clone()).unwrap();
+        a.insert_batch(&keys_a);
+        let b = BloomRf::new(cfg.clone()).unwrap();
+        b.insert_batch(&keys_b);
+        // Reference: both key sets inserted into one filter.
+        let both = BloomRf::new(cfg.clone()).unwrap();
+        both.insert_batch(&keys_a);
+        both.insert_batch(&keys_b);
+
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.snapshot_bits(), both.snapshot_bits());
+        assert_eq!(a.key_count(), both.key_count());
+        for &k in keys_a.iter().chain(&keys_b) {
+            assert!(a.contains_point(k), "union lost key {k}");
+        }
+        // Idempotent: merging again changes no bits.
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.snapshot_bits(), both.snapshot_bits());
+    }
+
+    #[test]
+    fn merge_from_crosses_storage_backends() {
+        let cfg = BloomRfConfig::basic(64, 1000, 14.0, 7).unwrap();
+        let flat = BloomRf::new(cfg.clone()).unwrap();
+        let sharded = ShardedBloomRf::new_sharded(cfg.clone(), 4).unwrap();
+        let keys: Vec<u64> = (0..1000u64).map(crate::hashing::mix64).collect();
+        flat.insert_batch(&keys);
+        sharded.merge_from(&flat).unwrap();
+        assert_eq!(sharded.snapshot_bits(), flat.snapshot_bits());
+        for &k in &keys {
+            assert!(sharded.contains_point(k));
+        }
+    }
+
+    #[test]
+    fn merge_from_unions_the_exact_bitmap() {
+        // Advisor-tuned configs carry an exactly-stored level; the union must
+        // OR it like any other array.
+        let tuned = crate::advisor::TuningAdvisor::tune_for(64, 5000, 18.0, 1e8).unwrap();
+        let a = BloomRf::new(tuned.config.clone()).unwrap();
+        let b = BloomRf::new(tuned.config.clone()).unwrap();
+        let keys_a: Vec<u64> = (0..2500u64).map(crate::hashing::mix64).collect();
+        let keys_b: Vec<u64> = (0..2500u64)
+            .map(|i| crate::hashing::mix64(i + 9999))
+            .collect();
+        a.insert_batch(&keys_a);
+        b.insert_batch(&keys_b);
+        a.merge_from(&b).unwrap();
+        for &k in keys_a.iter().chain(&keys_b) {
+            assert!(a.contains_point(k));
+            assert!(a.contains_range(k.saturating_sub(500), k.saturating_add(500)));
+        }
+    }
+
+    #[test]
+    fn merge_from_rejects_config_mismatches_field_by_field() {
+        use crate::error::MergeError;
+        let base = BloomRfConfig::basic(64, 1000, 14.0, 7).unwrap();
+        let a = BloomRf::new(base.clone()).unwrap();
+
+        let cases: Vec<(BloomRfConfig, &str)> = vec![
+            (
+                BloomRfConfig::basic(32, 1000, 14.0, 7).unwrap(),
+                "domain_bits",
+            ),
+            (BloomRfConfig::basic(64, 1000, 14.0, 5).unwrap(), "layers"),
+            (
+                BloomRfConfig::basic(64, 2000, 14.0, 7).unwrap(),
+                "segment_bits",
+            ),
+            (base.clone().with_seed(base.hash_seed ^ 1), "hash_seed"),
+            (
+                base.clone().with_range_policy(RangePolicy::Conservative {
+                    max_words_per_layer: 2,
+                }),
+                "range_policy",
+            ),
+            (
+                base.clone().with_word_layout(WordLayout::Alternating),
+                "word_layout",
+            ),
+        ];
+        for (cfg, field) in cases {
+            let b = BloomRf::new(cfg).unwrap();
+            assert_eq!(
+                a.merge_from(&b),
+                Err(MergeError::ConfigMismatch { field }),
+                "expected mismatch on {field}"
+            );
+        }
+        // A failed merge leaves the destination untouched.
+        assert_eq!(a.key_count(), 0);
+        assert_eq!(a.segment_load_factors()[0], 0.0);
     }
 }

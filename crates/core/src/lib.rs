@@ -96,7 +96,7 @@ pub use bitarray::{AtomicBits, BitStore, ShardedAtomicBits};
 pub use builder::{BloomRfBuilder, BuildStore, TypedBloomRfBuilder};
 pub use config::{BloomRfConfig, LayerSpec, RangePolicy};
 pub use encode::{decode_f64, decode_i64, encode_f64, encode_i64, MultiAttrBloomRf, RangeKey};
-pub use error::{ConfigError, DecodeError};
+pub use error::{ConfigError, DecodeError, MergeError};
 pub use filter::{BloomRf, ProbeStats, ShardedBloomRf, WIRE_FORMAT_VERSION, WIRE_MAGIC};
 pub use traits::{ExclusiveOnlineFilter, FilterBuilder, Locked, OnlineFilter, PointRangeFilter};
 pub use typed::{TypedBloomRf, TypedShardedBloomRf};

@@ -23,9 +23,12 @@ use crate::memtable::MemTable;
 use crate::persist::{self, PersistError};
 use crate::sst::SsTable;
 use crate::stats::{IoModel, ReadStats, ReadStatsSnapshot};
+use crate::tree::{FilterTree, TreeOptions};
 
 /// Name of the manifest file inside a store directory.
 const MANIFEST_NAME: &str = "MANIFEST";
+/// Name of the persisted filter-tree file inside a store directory.
+const TREE_NAME: &str = "TREE";
 /// Retry budget for transient read errors during recovery.
 const READ_RETRY_ATTEMPTS: u32 = 4;
 /// Base backoff between read retries (linear: 1·b, 2·b, …).
@@ -44,6 +47,8 @@ pub struct DbOptions {
     pub bits_per_key: f64,
     /// Simulated storage cost model.
     pub io_model: IoModel,
+    /// How point and range reads select the SSTs to probe.
+    pub routing: ReadRouting,
 }
 
 impl Default for DbOptions {
@@ -54,7 +59,28 @@ impl Default for DbOptions {
             filter_kind: FilterKind::BloomRf { max_range: 1e6 },
             bits_per_key: 22.0,
             io_model: IoModel::default(),
+            routing: ReadRouting::default(),
         }
+    }
+}
+
+/// How [`Db::get`], [`Db::get_batch`], [`Db::range_is_possibly_non_empty`]
+/// and [`Db::range_non_empty_batch`] select the SSTs to probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReadRouting {
+    /// Probe every live SST newest-to-oldest — the pre-tree behaviour, kept
+    /// as the reference path for differential tests and benchmarks.
+    ScanAll,
+    /// Descend a Bloofi-style [`FilterTree`] and probe only the surviving
+    /// candidate SSTs (see `docs/filter-tree.md`). Routed reads return
+    /// exactly what [`ReadRouting::ScanAll`] would: the tree has no false
+    /// negatives, so pruned tables can never contribute an answer.
+    FilterTree(TreeOptions),
+}
+
+impl Default for ReadRouting {
+    fn default() -> Self {
+        ReadRouting::FilterTree(TreeOptions::default())
     }
 }
 
@@ -74,18 +100,38 @@ pub struct Db {
     memtable: MemTable,
     /// Level-0 tables, oldest first (no compaction — as in the paper's setup).
     ssts: RwLock<Vec<SsTable>>,
+    /// Filter tree over `ssts` (leaf `i` ⇔ `ssts[i]`), present when routing
+    /// is [`ReadRouting::FilterTree`]. Lock order is always `ssts` before
+    /// `tree`, for writers and readers alike.
+    tree: Option<RwLock<FilterTree>>,
     stats: ReadStats,
     /// Present for durable stores opened via [`Db::open`] / [`Db::open_with`].
     persist: Option<Persistence>,
 }
 
 impl Db {
+    /// Resolve the tree knobs against the store options; `None` when routing
+    /// is scan-all.
+    fn resolved_tree(options: &DbOptions) -> Option<(usize, usize, f64)> {
+        match options.routing {
+            ReadRouting::ScanAll => None,
+            ReadRouting::FilterTree(t) => Some((
+                t.fanout,
+                t.leaf_keys.unwrap_or(options.memtable_flush_entries),
+                t.bits_per_key.unwrap_or(options.bits_per_key),
+            )),
+        }
+    }
+
     /// Open an empty, ephemeral store (SSTs live only in memory).
     pub fn new(options: DbOptions) -> Self {
+        let tree = Self::resolved_tree(&options)
+            .map(|(fanout, leaf_keys, bpk)| RwLock::new(FilterTree::new(fanout, leaf_keys, bpk)));
         Self {
             options,
             memtable: MemTable::new(),
             ssts: RwLock::new(Vec::new()),
+            tree,
             stats: ReadStats::new(),
             persist: None,
         }
@@ -124,6 +170,11 @@ impl Db {
     /// * Any *older* SST with corrupt data surfaces a typed
     ///   [`PersistError::CorruptSst`] naming the file and section — silently
     ///   dropping committed non-tail data is never acceptable.
+    /// * The persisted filter tree (`TREE`) is best-effort: if it is
+    ///   missing, fails its checksums, or is stale against the recovered
+    ///   table set, the tree is rebuilt from the SSTs' keys (counted in
+    ///   `tree_rebuilds`) and re-persisted. Opening never fails because of
+    ///   the TREE file.
     pub fn open_with(
         dir: impl AsRef<Path>,
         options: DbOptions,
@@ -216,6 +267,36 @@ impl Db {
             }
         }
 
+        // Recover the filter tree: load the persisted TREE file when it is
+        // intact and still describes exactly this table set, otherwise
+        // rebuild from the SSTs' keys and re-persist.
+        let mut tree_dirty = false;
+        let tree = Self::resolved_tree(&options).map(|(fanout, leaf_keys, bpk)| {
+            let tree_path = dir.join(TREE_NAME);
+            let loaded = if io.exists(&tree_path) {
+                read_with_retry(&*io, &tree_path, READ_RETRY_ATTEMPTS, READ_RETRY_BACKOFF)
+                    .ok()
+                    .and_then(|(bytes, retries)| {
+                        stats.record_read_retries(retries);
+                        FilterTree::from_bytes(&bytes).ok()
+                    })
+                    .filter(|t| t.validate_against(&ssts, fanout, leaf_keys, bpk))
+            } else {
+                None
+            };
+            match loaded {
+                Some(tree) => tree,
+                None => {
+                    let tree = FilterTree::build_from_ssts(fanout, leaf_keys, bpk, &ssts);
+                    if !ssts.is_empty() {
+                        stats.record_tree_rebuild();
+                    }
+                    tree_dirty = true;
+                    tree
+                }
+            }
+        });
+
         files = kept;
         let persistence = Persistence {
             dir,
@@ -228,11 +309,23 @@ impl Db {
         if skipped_tail && persistence.write_manifest().is_err() {
             stats.record_persist_failure();
         }
+        if tree_dirty {
+            if let Some(tree) = &tree {
+                if !ssts.is_empty()
+                    && persistence
+                        .write_atomic(TREE_NAME, &tree.to_bytes())
+                        .is_err()
+                {
+                    stats.record_persist_failure();
+                }
+            }
+        }
 
         Ok(Self {
             options,
             memtable: MemTable::new(),
             ssts: RwLock::new(ssts),
+            tree: tree.map(RwLock::new),
             stats,
             persist: Some(persistence),
         })
@@ -274,6 +367,11 @@ impl Db {
     /// the SST is also serialized to disk (atomic write-then-rename) and
     /// committed to the MANIFEST; if persistence fails the flush degrades to
     /// memory-only and the failure is counted in `persist_failures`.
+    ///
+    /// Under tree routing the flush also appends the SST's leaf to the
+    /// [`FilterTree`], re-unions its ancestors, and (durable stores) rewrites
+    /// the checksummed `TREE` file — a crash between the MANIFEST commit and
+    /// the TREE write is safe, recovery detects the stale tree and rebuilds.
     pub fn flush(&self) {
         let entries = self.memtable.drain_sorted();
         if entries.is_empty() {
@@ -290,21 +388,50 @@ impl Db {
                 self.stats.record_persist_failure();
             }
         }
-        self.ssts.write().push(sst);
+        let mut ssts = self.ssts.write();
+        ssts.push(sst);
+        let tree_bytes = self.tree.as_ref().and_then(|tree| {
+            let mut tree = tree.write();
+            tree.push_leaf(&ssts);
+            self.persist.as_ref().map(|_| tree.to_bytes())
+        });
+        drop(ssts);
+        if let (Some(p), Some(bytes)) = (&self.persist, tree_bytes) {
+            if p.write_atomic(TREE_NAME, &bytes).is_err() {
+                self.stats.record_persist_failure();
+            }
+        }
     }
 
-    /// Point lookup: memtable first, then SSTs newest to oldest.
+    /// Point lookup: memtable first, then SSTs newest to oldest. Under tree
+    /// routing only the tree's candidate SSTs are probed (newest first, so
+    /// the freshest version still wins).
     pub fn get(&self, key: u64) -> Option<Vec<u8>> {
         if let Some(v) = self.memtable.get(key) {
             return Some(v);
         }
         let ssts = self.ssts.read();
-        for sst in ssts.iter().rev() {
-            if let Some(v) = sst.get(key, &self.options.io_model, &self.stats) {
-                return Some(v);
+        match &self.tree {
+            Some(tree) => {
+                let candidates = tree.read().candidates_point(key, &self.stats);
+                self.stats.record_ssts_probed(candidates.len() as u64);
+                for &i in candidates.iter().rev() {
+                    if let Some(v) = ssts[i].get(key, &self.options.io_model, &self.stats) {
+                        return Some(v);
+                    }
+                }
+                None
+            }
+            None => {
+                self.stats.record_ssts_probed(ssts.len() as u64);
+                for sst in ssts.iter().rev() {
+                    if let Some(v) = sst.get(key, &self.options.io_model, &self.stats) {
+                        return Some(v);
+                    }
+                }
+                None
             }
         }
-        None
     }
 
     /// Range scan over `[lo, hi]`, returning up to `limit` entries in key
@@ -355,16 +482,50 @@ impl Db {
     fn get_chunk(&self, keys: &[u64]) -> Vec<Option<Vec<u8>>> {
         let mut out: Vec<Option<Vec<u8>>> = keys.iter().map(|&k| self.memtable.get(k)).collect();
         let ssts = self.ssts.read();
-        for sst in ssts.iter().rev() {
-            let unresolved: Vec<usize> = (0..keys.len()).filter(|&i| out[i].is_none()).collect();
-            if unresolved.is_empty() {
-                break;
+        match &self.tree {
+            Some(tree) => {
+                // One tree descent for the whole chunk (memtable hits are
+                // already answered and skip the tree entirely), then each
+                // SST sees only the keys routed to it, newest first.
+                let open: Vec<usize> = (0..keys.len()).filter(|&i| out[i].is_none()).collect();
+                let open_keys: Vec<u64> = open.iter().map(|&i| keys[i]).collect();
+                let candidates = tree.read().candidates_points(&open_keys, &self.stats);
+                self.stats
+                    .record_ssts_probed(candidates.iter().map(|c| c.len() as u64).sum());
+                for sst_idx in (0..ssts.len()).rev() {
+                    let routed: Vec<usize> = (0..open.len())
+                        .filter(|&j| {
+                            out[open[j]].is_none() && candidates[j].binary_search(&sst_idx).is_ok()
+                        })
+                        .collect();
+                    if routed.is_empty() {
+                        continue;
+                    }
+                    let sub_keys: Vec<u64> = routed.iter().map(|&j| open_keys[j]).collect();
+                    let found =
+                        ssts[sst_idx].get_many(&sub_keys, &self.options.io_model, &self.stats);
+                    for (&j, value) in routed.iter().zip(found) {
+                        if value.is_some() {
+                            out[open[j]] = value;
+                        }
+                    }
+                }
             }
-            let sub_keys: Vec<u64> = unresolved.iter().map(|&i| keys[i]).collect();
-            let found = sst.get_many(&sub_keys, &self.options.io_model, &self.stats);
-            for (&i, value) in unresolved.iter().zip(found) {
-                if value.is_some() {
-                    out[i] = value;
+            None => {
+                for sst in ssts.iter().rev() {
+                    let unresolved: Vec<usize> =
+                        (0..keys.len()).filter(|&i| out[i].is_none()).collect();
+                    if unresolved.is_empty() {
+                        break;
+                    }
+                    self.stats.record_ssts_probed(unresolved.len() as u64);
+                    let sub_keys: Vec<u64> = unresolved.iter().map(|&i| keys[i]).collect();
+                    let found = sst.get_many(&sub_keys, &self.options.io_model, &self.stats);
+                    for (&i, value) in unresolved.iter().zip(found) {
+                        if value.is_some() {
+                            out[i] = value;
+                        }
+                    }
                 }
             }
         }
@@ -401,16 +562,48 @@ impl Db {
             .map(|&(lo, hi)| lo <= hi && self.memtable.first_in_range(lo, hi).is_some())
             .collect();
         let ssts = self.ssts.read();
-        for sst in ssts.iter() {
-            let unresolved: Vec<usize> = (0..ranges.len()).filter(|&i| !out[i]).collect();
-            if unresolved.is_empty() {
-                break;
+        match &self.tree {
+            Some(tree) => {
+                let open: Vec<usize> = (0..ranges.len()).filter(|&i| !out[i]).collect();
+                let open_ranges: Vec<(u64, u64)> = open.iter().map(|&i| ranges[i]).collect();
+                let candidates = tree.read().candidates_ranges(&open_ranges, &self.stats);
+                self.stats
+                    .record_ssts_probed(candidates.iter().map(|c| c.len() as u64).sum());
+                for sst_idx in 0..ssts.len() {
+                    let routed: Vec<usize> = (0..open.len())
+                        .filter(|&j| !out[open[j]] && candidates[j].binary_search(&sst_idx).is_ok())
+                        .collect();
+                    if routed.is_empty() {
+                        continue;
+                    }
+                    let sub: Vec<(u64, u64)> = routed.iter().map(|&j| open_ranges[j]).collect();
+                    let verdicts = ssts[sst_idx].range_non_empty_many(
+                        &sub,
+                        &self.options.io_model,
+                        &self.stats,
+                    );
+                    for (&j, hit) in routed.iter().zip(verdicts) {
+                        if hit {
+                            out[open[j]] = true;
+                        }
+                    }
+                }
             }
-            let sub: Vec<(u64, u64)> = unresolved.iter().map(|&i| ranges[i]).collect();
-            let verdicts = sst.range_non_empty_many(&sub, &self.options.io_model, &self.stats);
-            for (&i, hit) in unresolved.iter().zip(verdicts) {
-                if hit {
-                    out[i] = true;
+            None => {
+                for sst in ssts.iter() {
+                    let unresolved: Vec<usize> = (0..ranges.len()).filter(|&i| !out[i]).collect();
+                    if unresolved.is_empty() {
+                        break;
+                    }
+                    self.stats.record_ssts_probed(unresolved.len() as u64);
+                    let sub: Vec<(u64, u64)> = unresolved.iter().map(|&i| ranges[i]).collect();
+                    let verdicts =
+                        sst.range_non_empty_many(&sub, &self.options.io_model, &self.stats);
+                    for (&i, hit) in unresolved.iter().zip(verdicts) {
+                        if hit {
+                            out[i] = true;
+                        }
+                    }
                 }
             }
         }
@@ -419,20 +612,39 @@ impl Db {
 
     /// Range emptiness check (the filter-driven fast path the paper measures):
     /// like [`Db::scan`] with `limit = 1` but without materializing values.
+    /// Under tree routing only the tree's candidate SSTs are consulted.
     pub fn range_is_possibly_non_empty(&self, lo: u64, hi: u64) -> bool {
         if self.memtable.first_in_range(lo, hi).is_some() {
             return true;
         }
         let ssts = self.ssts.read();
-        for sst in ssts.iter() {
-            if !sst
-                .scan(lo, hi, 1, &self.options.io_model, &self.stats)
-                .is_empty()
-            {
-                return true;
+        match &self.tree {
+            Some(tree) => {
+                let candidates = tree.read().candidates_range(lo, hi, &self.stats);
+                self.stats.record_ssts_probed(candidates.len() as u64);
+                for &i in &candidates {
+                    if !ssts[i]
+                        .scan(lo, hi, 1, &self.options.io_model, &self.stats)
+                        .is_empty()
+                    {
+                        return true;
+                    }
+                }
+                false
+            }
+            None => {
+                self.stats.record_ssts_probed(ssts.len() as u64);
+                for sst in ssts.iter() {
+                    if !sst
+                        .scan(lo, hi, 1, &self.options.io_model, &self.stats)
+                        .is_empty()
+                    {
+                        return true;
+                    }
+                }
+                false
             }
         }
-        false
     }
 
     /// Number of level-0 SST files.
@@ -459,6 +671,15 @@ impl Db {
     /// Sum of per-SST filter construction times (Fig. 12.C).
     pub fn total_filter_build_time(&self) -> std::time::Duration {
         self.ssts.read().iter().map(|s| s.filter_build_time()).sum()
+    }
+
+    /// Shape of the filter tree — `(levels, nodes, memory_bits)` — when tree
+    /// routing is active.
+    pub fn tree_shape(&self) -> Option<(usize, usize, usize)> {
+        self.tree.as_ref().map(|tree| {
+            let tree = tree.read();
+            (tree.depth(), tree.num_nodes(), tree.memory_bits())
+        })
     }
 
     /// Read-path statistics accumulated since the last reset.
@@ -534,6 +755,7 @@ mod tests {
             filter_kind,
             bits_per_key: 18.0,
             io_model: IoModel::default(),
+            routing: ReadRouting::default(),
         })
     }
 

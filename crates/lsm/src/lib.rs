@@ -15,6 +15,10 @@
 //! * [`db::Db`] — level-0-only LSM store: put / get / scan /
 //!   range-emptiness, with per-query statistics (filter probes, simulated I/O
 //!   wait, residual CPU) feeding the cost-breakdown experiment (Fig. 12.G).
+//! * [`tree::FilterTree`] — Bloofi-style filter tree over the live SST set:
+//!   inner bloomRF filters aggregate their children, so point *and* range
+//!   reads descend fan-out-`F` levels and prune whole subtrees instead of
+//!   probing every table's filter (`docs/filter-tree.md`).
 //! * [`typed::TypedDb`] — the same store over any
 //!   [`bloomrf::encode::RangeKey`] key type (floats, signed integers, byte
 //!   strings, attribute pairs), delegating to the `u64` core through the
@@ -45,12 +49,14 @@ pub mod memtable;
 pub mod persist;
 pub mod sst;
 pub mod stats;
+pub mod tree;
 pub mod typed;
 
-pub use db::{Db, DbOptions};
+pub use db::{Db, DbOptions, ReadRouting};
 pub use io::{FaultConfig, FaultyIo, RealIo, StorageIo};
 pub use memtable::MemTable;
 pub use persist::{Corruption, PersistError};
 pub use sst::SsTable;
 pub use stats::{IoModel, ReadStats, ReadStatsSnapshot};
+pub use tree::{FilterTree, TreeOptions};
 pub use typed::TypedDb;

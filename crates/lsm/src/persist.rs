@@ -58,7 +58,7 @@ pub struct Corruption {
 }
 
 impl Corruption {
-    fn new(section: &'static str, detail: impl Into<String>) -> Self {
+    pub(crate) fn new(section: &'static str, detail: impl Into<String>) -> Self {
         Self {
             section,
             detail: detail.into(),
@@ -161,7 +161,7 @@ pub struct DecodedSst {
 // Section primitives
 // ---------------------------------------------------------------------------
 
-fn push_section(out: &mut Vec<u8>, tag: u32, body: &[u8]) {
+pub(crate) fn push_section(out: &mut Vec<u8>, tag: u32, body: &[u8]) {
     out.extend_from_slice(&tag.to_le_bytes());
     out.extend_from_slice(&(body.len() as u64).to_le_bytes());
     out.extend_from_slice(body);
@@ -171,7 +171,7 @@ fn push_section(out: &mut Vec<u8>, tag: u32, body: &[u8]) {
 /// Read `tag | len | body | crc` at `*cur`, verifying the tag, that the
 /// declared length fits the remaining input (the bounded-allocation check)
 /// and the CRC. Returns the body slice.
-fn take_section<'a>(
+pub(crate) fn take_section<'a>(
     bytes: &'a [u8],
     cur: &mut usize,
     want_tag: u32,
@@ -216,7 +216,7 @@ fn take_section<'a>(
     Ok(body)
 }
 
-fn take<'a>(
+pub(crate) fn take<'a>(
     body: &'a [u8],
     cur: &mut usize,
     n: usize,
@@ -229,13 +229,21 @@ fn take<'a>(
     Ok(out)
 }
 
-fn take_u32(body: &[u8], cur: &mut usize, section: &'static str) -> Result<u32, Corruption> {
+pub(crate) fn take_u32(
+    body: &[u8],
+    cur: &mut usize,
+    section: &'static str,
+) -> Result<u32, Corruption> {
     Ok(u32::from_le_bytes(
         take(body, cur, 4, section)?.try_into().unwrap(),
     ))
 }
 
-fn take_u64(body: &[u8], cur: &mut usize, section: &'static str) -> Result<u64, Corruption> {
+pub(crate) fn take_u64(
+    body: &[u8],
+    cur: &mut usize,
+    section: &'static str,
+) -> Result<u64, Corruption> {
     Ok(u64::from_le_bytes(
         take(body, cur, 8, section)?.try_into().unwrap(),
     ))

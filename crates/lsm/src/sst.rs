@@ -179,6 +179,26 @@ impl SsTable {
         self.filter.as_ref()
     }
 
+    /// Every key in the table, ascending. Walks the in-memory block bytes
+    /// without materializing values; the filter tree uses this to (re)build
+    /// its per-SST leaf and ancestor filters from the authoritative key set.
+    pub(crate) fn keys(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.num_entries);
+        for data in &self.blocks {
+            let count = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+            let mut cursor = 4usize;
+            for _ in 0..count {
+                out.push(u64::from_le_bytes(
+                    data[cursor..cursor + 8].try_into().unwrap(),
+                ));
+                cursor += 8;
+                let len = u32::from_le_bytes(data[cursor..cursor + 4].try_into().unwrap()) as usize;
+                cursor += 4 + len;
+            }
+        }
+        out
+    }
+
     /// Decode a block into its entries (counts as residual CPU, not I/O).
     fn decode_block(&self, block_idx: usize) -> Vec<(u64, Vec<u8>)> {
         let data = &self.blocks[block_idx];

@@ -63,6 +63,20 @@ pub struct ReadStats {
     pub read_retries: AtomicU64,
     /// Flushes whose persistence step failed (the SST stays memory-only).
     pub persist_failures: AtomicU64,
+    /// Filter-tree node probes executed during query routing (one per
+    /// `(node, query)` pair the descent visited, fence checks included).
+    pub tree_probes: AtomicU64,
+    /// `(query, SST)` probe pairs skipped because the filter tree pruned the
+    /// SST before its own filter block was ever consulted. Each pruned pair
+    /// is an *implicit true negative* — see
+    /// [`ReadStatsSnapshot::effective_fpr`].
+    pub ssts_pruned: AtomicU64,
+    /// `(query, SST)` probe pairs the router selected for probing (tree
+    /// routing: the surviving candidates; scan-all: every live SST).
+    pub ssts_probed: AtomicU64,
+    /// Filter-tree rebuild events: recovery fallbacks (missing, corrupt or
+    /// stale `TREE` file) and subtree rebuilds after a leaf retirement.
+    pub tree_rebuilds: AtomicU64,
 }
 
 impl ReadStats {
@@ -87,6 +101,10 @@ impl ReadStats {
             &self.tail_ssts_skipped,
             &self.read_retries,
             &self.persist_failures,
+            &self.tree_probes,
+            &self.ssts_pruned,
+            &self.ssts_probed,
+            &self.tree_rebuilds,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -147,6 +165,27 @@ impl ReadStats {
         self.persist_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `n` filter-tree node probes.
+    pub fn record_tree_probes(&self, n: u64) {
+        self.tree_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` `(query, SST)` pairs pruned by the filter tree.
+    pub fn record_ssts_pruned(&self, n: u64) {
+        self.ssts_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` `(query, SST)` pairs selected for probing.
+    pub fn record_ssts_probed(&self, n: u64) {
+        self.ssts_probed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one filter-tree rebuild event (recovery fallback or subtree
+    /// rebuild after retirement).
+    pub fn record_tree_rebuild(&self) {
+        self.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot into a plain struct.
     pub fn snapshot(&self) -> ReadStatsSnapshot {
         ReadStatsSnapshot {
@@ -163,6 +202,10 @@ impl ReadStats {
             tail_ssts_skipped: self.tail_ssts_skipped.load(Ordering::Relaxed),
             read_retries: self.read_retries.load(Ordering::Relaxed),
             persist_failures: self.persist_failures.load(Ordering::Relaxed),
+            tree_probes: self.tree_probes.load(Ordering::Relaxed),
+            ssts_pruned: self.ssts_pruned.load(Ordering::Relaxed),
+            ssts_probed: self.ssts_probed.load(Ordering::Relaxed),
+            tree_rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
         }
     }
 }
@@ -196,17 +239,59 @@ pub struct ReadStatsSnapshot {
     pub read_retries: u64,
     /// Failed persistence attempts.
     pub persist_failures: u64,
+    /// Filter-tree node probes executed during query routing.
+    pub tree_probes: u64,
+    /// `(query, SST)` probe pairs the filter tree pruned (probes avoided).
+    pub ssts_pruned: u64,
+    /// `(query, SST)` probe pairs the router selected for probing.
+    pub ssts_probed: u64,
+    /// Filter-tree rebuild events (recovery fallback / subtree rebuild).
+    pub tree_rebuilds: u64,
 }
 
 impl ReadStatsSnapshot {
     /// Observed filter false-positive rate: false positives / probes on
     /// queries whose true answer is empty. (Callers that issue only empty
     /// queries can use this directly.)
+    ///
+    /// The denominator counts only *executed* SST-filter probes. Under tree
+    /// routing most SSTs are never probed at all, which deflates the
+    /// denominator and makes this rate look worse than the workload actually
+    /// experienced — use [`ReadStatsSnapshot::effective_fpr`] for
+    /// FPR-by-predicate reporting that credits pruned SSTs.
     pub fn observed_fpr(&self) -> f64 {
         if self.filter_probes == 0 {
             0.0
         } else {
             self.false_positives as f64 / self.filter_probes as f64
+        }
+    }
+
+    /// Pruning-adjusted false-positive rate over every `(query, SST)` pair
+    /// the query *logically* asked about: executed filter probes plus the
+    /// pairs the filter tree pruned. A pruned pair is an implicit true
+    /// negative (the tree only prunes when no key can match), so it belongs
+    /// in the denominator; without it, FPR-by-predicate reporting degrades
+    /// as pruning improves. Equals [`ReadStatsSnapshot::observed_fpr`] when
+    /// nothing was pruned.
+    pub fn effective_fpr(&self) -> f64 {
+        let denominator = self.filter_probes + self.ssts_pruned;
+        if denominator == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / denominator as f64
+        }
+    }
+
+    /// Fraction of `(query, SST)` pairs the filter tree pruned away:
+    /// `ssts_pruned / (ssts_pruned + ssts_probed)`. Zero when scan-all
+    /// routing is active (nothing is ever pruned).
+    pub fn pruning_ratio(&self) -> f64 {
+        let total = self.ssts_pruned + self.ssts_probed;
+        if total == 0 {
+            0.0
+        } else {
+            self.ssts_pruned as f64 / total as f64
         }
     }
 
@@ -262,6 +347,41 @@ mod tests {
         assert_eq!(snap.persist_failures, 1);
         stats.reset();
         assert_eq!(stats.snapshot(), ReadStatsSnapshot::default());
+    }
+
+    #[test]
+    fn tree_counters_accumulate_and_reset() {
+        let stats = ReadStats::new();
+        stats.record_tree_probes(5);
+        stats.record_ssts_pruned(90);
+        stats.record_ssts_probed(10);
+        stats.record_tree_rebuild();
+        let snap = stats.snapshot();
+        assert_eq!(snap.tree_probes, 5);
+        assert_eq!(snap.ssts_pruned, 90);
+        assert_eq!(snap.ssts_probed, 10);
+        assert_eq!(snap.tree_rebuilds, 1);
+        assert!((snap.pruning_ratio() - 0.9).abs() < 1e-12);
+        stats.reset();
+        assert_eq!(stats.snapshot(), ReadStatsSnapshot::default());
+        assert_eq!(ReadStatsSnapshot::default().pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn effective_fpr_credits_pruned_ssts() {
+        let stats = ReadStats::new();
+        // 10 executed probes, 1 end-to-end false positive, 90 pruned pairs:
+        // per executed probe the rate is 0.1, but over everything the query
+        // logically asked about it is 1/100.
+        for _ in 0..10 {
+            stats.record_filter_probe(true, 0);
+        }
+        stats.record_false_positive();
+        stats.record_ssts_pruned(90);
+        let snap = stats.snapshot();
+        assert!((snap.observed_fpr() - 0.1).abs() < 1e-12);
+        assert!((snap.effective_fpr() - 0.01).abs() < 1e-12);
+        assert_eq!(ReadStatsSnapshot::default().effective_fpr(), 0.0);
     }
 
     #[test]

@@ -1,17 +1,56 @@
-//! An LSM key-value store with bloomRF filter blocks — the system-level
-//! scenario of the paper's evaluation (RocksDB-style read path).
+//! An LSM key-value store with bloomRF filter blocks and Bloofi-style
+//! filter-tree routing — the system-level scenario of the paper's
+//! evaluation (RocksDB-style read path), scaled past a handful of SSTs.
 //!
-//! The example loads a YCSB-E-like dataset, issues empty range scans (the
-//! worst case for a filter) and prints how many block reads each filter
-//! family avoided.
+//! The example first unions two same-config bloomRF filters through
+//! [`BloomRfBuilder::union_of`] — the aggregation primitive the filter
+//! tree's inner nodes are built from — then loads a YCSB-E-like dataset
+//! into a [`TypedDb<u64>`] flushed into many small SSTs and replays the
+//! same point gets and empty range scans under scan-all and tree routing,
+//! printing how many per-SST filter probes the tree pruned.
 //!
 //! Run with: `cargo run --release --example lsm_store`
 
+use bloomrf::BloomRfBuilder;
 use bloomrf_filters::FilterKind;
-use bloomrf_lsm::{Db, DbOptions, IoModel};
+use bloomrf_lsm::{DbOptions, IoModel, ReadRouting, TreeOptions, TypedDb};
 use bloomrf_workloads::{Distribution, QueryGenerator, YcsbEConfig, YcsbEWorkload};
 
+/// Build one store over the workload with the requested read routing.
+fn load_store(workload: &YcsbEWorkload, routing: ReadRouting) -> TypedDb<u64> {
+    let db: TypedDb<u64> = TypedDb::new(DbOptions {
+        memtable_flush_entries: 1024,
+        entries_per_block: 8,
+        filter_kind: FilterKind::BloomRf { max_range: 1e4 },
+        bits_per_key: 22.0,
+        io_model: IoModel::default(),
+        routing,
+    });
+    for &key in &workload.load_keys {
+        db.put(&key, workload.value_for(key));
+    }
+    db.flush();
+    db
+}
+
 fn main() {
+    // --- Filter union: the primitive behind the tree's inner nodes. -------
+    let spec = || BloomRfBuilder::new().expected_keys(4096).bits_per_key(14.0);
+    let evens = spec().build().unwrap();
+    evens.insert_batch(&(0..2048u64).map(|k| k * 2).collect::<Vec<_>>());
+    let odds = spec().build().unwrap();
+    odds.insert_batch(&(0..2048u64).map(|k| k * 2 + 1).collect::<Vec<_>>());
+    let node = spec().union_of(&[&evens, &odds]).unwrap();
+    assert!(node.contains_point(6) && node.contains_point(7));
+    println!(
+        "union node: {} keys across {} bits (children: {} + {})",
+        node.key_count(),
+        node.memory_bits(),
+        evens.key_count(),
+        odds.key_count(),
+    );
+
+    // --- Routed vs scan-all reads over the same dataset. ------------------
     let workload = YcsbEWorkload::generate(&YcsbEConfig {
         num_keys: 100_000,
         num_queries: 2_000,
@@ -20,50 +59,52 @@ fn main() {
         ..Default::default()
     });
 
-    for filter_kind in [
-        FilterKind::BloomRf { max_range: 1e4 },
-        FilterKind::Rosetta { max_range: 1 << 14 },
-        FilterKind::Surf,
-        FilterKind::Bloom,
+    for routing in [
+        ReadRouting::ScanAll,
+        ReadRouting::FilterTree(TreeOptions::default()),
     ] {
-        let db = Db::new(DbOptions {
-            memtable_flush_entries: 16 * 1024,
-            entries_per_block: 8,
-            filter_kind,
-            bits_per_key: 22.0,
-            io_model: IoModel::default(),
-        });
-        for &key in &workload.load_keys {
-            db.put(key, workload.value_for(key));
-        }
-        db.flush();
+        let label = match routing {
+            ReadRouting::ScanAll => "scan-all",
+            ReadRouting::FilterTree(_) => "filter-tree",
+        };
+        let db = load_store(&workload, routing);
 
-        // Point reads on existing keys always succeed.
+        // Point reads on existing keys always succeed, routed or not.
         let sample_key = workload.load_keys[12345 % workload.load_keys.len()];
-        assert!(db.get(sample_key).is_some());
+        assert!(db.get(&sample_key).is_some());
 
-        // Empty range scans: a good range filter prunes the block reads.
+        // Empty range scans: the worst case for a filter — and for a flat
+        // SST scan, every one of them costs a probe per table.
         db.reset_stats();
         let mut generator = QueryGenerator::new(&workload.load_keys, Distribution::Uniform, 7);
         let queries = generator.empty_ranges(2_000, 1 << 10);
         let mut false_positives = 0usize;
         for q in &queries {
-            if db.range_is_possibly_non_empty(q.lo, q.hi) {
+            if db.range_non_empty(&q.lo, &q.hi) {
                 false_positives += 1;
             }
         }
+        for q in &queries {
+            assert_eq!(db.get(&q.lo.wrapping_mul(2).wrapping_add(1)), None);
+        }
+
         let stats = db.stats();
         println!(
-            "{:>12}: {} SSTs, {:5} empty scans, FPR {:.4}, {:6} blocks read, \
-             filter probe {:.2} ms, simulated I/O wait {:.2} ms",
-            filter_kind.label(),
-            db.num_ssts(),
-            queries.len(),
+            "{label:>12}: {} SSTs, FPR {:.4}, effective FPR {:.4}, \
+             {} SSTs probed / {} pruned (pruning ratio {:.3})",
+            db.inner().num_ssts(),
             false_positives as f64 / queries.len() as f64,
-            stats.blocks_read,
-            stats.filter_probe_ns as f64 / 1e6,
-            stats.io_wait_ns as f64 / 1e6,
+            stats.effective_fpr(),
+            stats.ssts_probed,
+            stats.ssts_pruned,
+            stats.pruning_ratio(),
         );
+        if let Some((levels, nodes, bits)) = db.inner().tree_shape() {
+            println!(
+                "{:>12}  tree: {levels} levels, {nodes} nodes, {} tree probes, {:.1} KiB of filters",
+                "", stats.tree_probes, bits as f64 / 8.0 / 1024.0,
+            );
+        }
     }
     println!("lsm_store example finished OK");
 }

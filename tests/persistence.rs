@@ -12,7 +12,7 @@ use bloomrf::hashing::WordLayout;
 use bloomrf::{BloomRf, DecodeError};
 use bloomrf_filters::FilterKind;
 use bloomrf_lsm::io::{FaultConfig, FaultyIo, RealIo};
-use bloomrf_lsm::{Db, DbOptions, IoModel};
+use bloomrf_lsm::{Db, DbOptions, IoModel, ReadRouting};
 use proptest::prelude::*;
 
 /// Self-cleaning std-only temporary directory (the environment has no
@@ -67,6 +67,7 @@ fn small_options() -> DbOptions {
         filter_kind: FilterKind::BloomRf { max_range: 1e6 },
         bits_per_key: 16.0,
         io_model: IoModel::default(),
+        routing: ReadRouting::default(),
     }
 }
 
