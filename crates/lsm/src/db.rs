@@ -1,6 +1,7 @@
 //! A compact LSM key-value store: memtable + level-0 SST files with filter
-//! blocks, mirroring the compaction-disabled RocksDB setup of the paper's
-//! system-level experiments.
+//! blocks, mirroring the RocksDB setup of the paper's system-level
+//! experiments — now with deletes and size-tiered compaction so SST
+//! retirement is exercised end-to-end.
 //!
 //! A store is either *ephemeral* ([`Db::new`], SSTs live only in memory — the
 //! original behaviour) or *durable* ([`Db::open`]): every flush additionally
@@ -9,6 +10,17 @@
 //! directory recovers the table set, restoring persisted filter blocks
 //! instead of rebuilding them. Recovery degrades gracefully — see
 //! [`Db::open_with`] for the exact rules.
+//!
+//! Deletes ([`Db::delete`]) buffer a tombstone in the memtable; the tombstone
+//! flushes into the SST like any put and shadows every older version of its
+//! key until compaction drops it. [`Db::compact`] merges a window of adjacent
+//! tables into (at most) one, dropping shadowed versions always and expired
+//! tombstones only when the window includes the oldest table. For durable
+//! stores the merged SST is read back and byte-verified *before* the MANIFEST
+//! commit, the commit itself is verified, and input files are deleted only
+//! after the verified commit — a crash at any point leaves the store
+//! recoverable to exactly the pre- or post-compaction state, never a mix.
+//! See `docs/compaction.md` for the full protocol.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,6 +36,7 @@ use crate::persist::{self, PersistError};
 use crate::sst::SsTable;
 use crate::stats::{IoModel, ReadStats, ReadStatsSnapshot};
 use crate::tree::{FilterTree, TreeOptions};
+use crate::value::Value;
 
 /// Name of the manifest file inside a store directory.
 const MANIFEST_NAME: &str = "MANIFEST";
@@ -33,6 +46,9 @@ const TREE_NAME: &str = "TREE";
 const READ_RETRY_ATTEMPTS: u32 = 4;
 /// Base backoff between read retries (linear: 1·b, 2·b, …).
 const READ_RETRY_BACKOFF: Duration = Duration::from_millis(1);
+/// Write-then-verify attempts for compaction commits (merged SST and
+/// MANIFEST). Each attempt rewrites the file and reads it back.
+const COMMIT_VERIFY_ATTEMPTS: u32 = 3;
 
 /// Configuration of the store.
 #[derive(Clone, Debug)]
@@ -84,25 +100,78 @@ impl Default for ReadRouting {
     }
 }
 
+/// What one [`Db::compact`] / [`Db::compact_range`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Tables merged (the window size).
+    pub input_tables: usize,
+    /// Tables produced: `1`, or `0` when every entry was dropped.
+    pub output_tables: usize,
+    /// Entries across all input tables, shadowed versions included.
+    pub input_entries: usize,
+    /// Entries in the merged output (tombstones included unless expired).
+    pub output_entries: usize,
+    /// Older versions of keys dropped because a newer table shadowed them.
+    pub shadowed_dropped: usize,
+    /// Tombstones dropped because the window included the oldest table, so
+    /// nothing older could resurrect the key.
+    pub tombstones_dropped: usize,
+    /// Serialized size of the input tables, in bytes.
+    pub input_bytes: usize,
+    /// Serialized size of the output table, in bytes (0 when empty).
+    pub output_bytes: usize,
+}
+
+/// One slot of the durable file ledger: the persisted file backing `ssts[i]`,
+/// or `None` while that table is memory-only because its persist failed.
+#[derive(Clone, Debug)]
+struct Slot {
+    /// The file name (`NNNNNN.sst`).
+    name: String,
+    /// True for verified compaction outputs; sealed files are never
+    /// tail-skipped on recovery.
+    sealed: bool,
+}
+
 /// Durable-store state: where SSTs are persisted and through which I/O layer.
 struct Persistence {
     dir: PathBuf,
     io: Arc<dyn StorageIo>,
-    /// Live SST file names in age order (the MANIFEST contents).
-    files: Mutex<Vec<String>>,
+    /// File ledger aligned 1:1 with `Db::ssts` (slot `i` ⇔ `ssts[i]`). The
+    /// MANIFEST only ever names the longest fully-persisted prefix — a gap
+    /// must not let a newer file resurrect past an unpersisted older table.
+    files: Mutex<Vec<Option<Slot>>>,
     /// Number the next flushed SST file will get.
     next_file_no: AtomicU64,
+}
+
+/// The manifest view of a slot ledger: the longest `Some` prefix.
+fn manifest_entries(slots: &[Option<Slot>]) -> Vec<persist::ManifestEntry> {
+    slots
+        .iter()
+        .map_while(|s| {
+            s.as_ref().map(|slot| persist::ManifestEntry {
+                name: slot.name.clone(),
+                sealed: slot.sealed,
+            })
+        })
+        .collect()
 }
 
 /// The LSM store.
 pub struct Db {
     options: DbOptions,
     memtable: MemTable,
-    /// Level-0 tables, oldest first (no compaction — as in the paper's setup).
+    /// Level-0 tables, oldest first. Compaction splices a window of this
+    /// vector in place; age order is always preserved.
     ssts: RwLock<Vec<SsTable>>,
     /// Filter tree over `ssts` (leaf `i` ⇔ `ssts[i]`), present when routing
-    /// is [`ReadRouting::FilterTree`]. Lock order is always `ssts` before
-    /// `tree`, for writers and readers alike.
+    /// is [`ReadRouting::FilterTree`].
+    ///
+    /// Lock order is always `ssts` → `persist.files` → `tree`, for writers
+    /// and readers alike; flush and compaction hold the `ssts` write lock
+    /// across their whole commit so readers never observe a half-spliced
+    /// store.
     tree: Option<RwLock<FilterTree>>,
     stats: ReadStats,
     /// Present for durable stores opened via [`Db::open`] / [`Db::open_with`].
@@ -159,17 +228,27 @@ impl Db {
     ///
     /// * The MANIFEST names the live SSTs. If it is corrupt, recovery falls
     ///   back to scanning the directory for `*.sst` files in number order.
+    /// * The MANIFEST's retired list is a deletion redo log: files named
+    ///   there were retired by a committed compaction and are re-deleted on
+    ///   open before anything else.
     /// * Transient read errors are retried with bounded linear backoff
     ///   (counted in `read_retries`).
     /// * An SST whose *filter* section is corrupt is loaded anyway: the
     ///   filter is quarantined and rebuilt from the verified data blocks
     ///   (counted in `filters_quarantined` / `filters_rebuilt`).
-    /// * The *newest* SST being corrupt anywhere else is the signature of a
+    /// * The *newest* SST being corrupt (or missing) is the signature of a
     ///   crash mid-flush: the tail file is skipped and dropped from the
-    ///   manifest (counted in `tail_ssts_skipped`).
-    /// * Any *older* SST with corrupt data surfaces a typed
+    ///   manifest (counted in `tail_ssts_skipped`) — **unless** it is marked
+    ///   sealed. A sealed file is a verified compaction output holding data
+    ///   merged from older tables; dropping it would lose committed data, so
+    ///   a corrupt sealed file is a hard [`PersistError::CorruptSst`].
+    /// * Any *older* SST with corrupt data likewise surfaces a typed
     ///   [`PersistError::CorruptSst`] naming the file and section — silently
     ///   dropping committed non-tail data is never acceptable.
+    /// * When the MANIFEST decoded cleanly it is authoritative: orphaned
+    ///   `*.sst` files it does not name (e.g. a merged output whose commit
+    ///   never landed) are removed. After a directory-scan fallback nothing
+    ///   is removed — the scan adopted everything it found.
     /// * The persisted filter tree (`TREE`) is best-effort: if it is
     ///   missing, fails its checksums, or is stale against the recovered
     ///   table set, the tree is rebuilt from the SSTs' keys (counted in
@@ -188,9 +267,11 @@ impl Db {
         let stats = ReadStats::new();
 
         // Discover the live file set: MANIFEST first, directory scan as the
-        // degraded fallback.
+        // degraded fallback. Only a cleanly decoded MANIFEST is authoritative
+        // enough to justify deleting files it does not name.
         let manifest_path = dir.join(MANIFEST_NAME);
-        let (mut files, mut next_file_no) = if io.exists(&manifest_path) {
+        let mut authoritative = false;
+        let (listed, retired, mut next_file_no) = if io.exists(&manifest_path) {
             let (bytes, retries) = read_with_retry(
                 &*io,
                 &manifest_path,
@@ -203,36 +284,48 @@ impl Db {
             })?;
             stats.record_read_retries(retries);
             match persist::decode_manifest(&bytes) {
-                Ok(listed) => listed,
+                Ok(data) => {
+                    authoritative = true;
+                    (data.files, data.retired, data.next_file_no)
+                }
                 Err(_) => Self::scan_dir(&*io, &dir)?,
             }
         } else {
             Self::scan_dir(&*io, &dir)?
         };
-        // Never reuse a file number that exists on disk, even if the
-        // manifest's counter was lost.
-        let on_disk_max = files
+        // Never reuse a file number that exists (or recently existed) on
+        // disk, even if the manifest's counter was lost.
+        let on_disk_max = listed
             .iter()
-            .filter_map(|n| persist::parse_sst_file_name(n))
+            .map(|e| e.name.as_str())
+            .chain(retired.iter().map(String::as_str))
+            .filter_map(persist::parse_sst_file_name)
             .max()
             .unwrap_or(0);
         next_file_no = next_file_no.max(on_disk_max + 1);
 
-        // Load every listed SST, oldest first. Only the tail may be skipped.
+        // Replay the deletion redo log: these retirements were committed by a
+        // compaction whose file removals may not have completed.
+        for name in &retired {
+            let _ = io.remove(&dir.join(name));
+        }
+
+        // Load every listed SST, oldest first. Only an unsealed tail may be
+        // skipped.
         let mut ssts = Vec::new();
-        let mut kept: Vec<String> = Vec::new();
+        let mut kept: Vec<Slot> = Vec::new();
         let mut skipped_tail = false;
-        let last = files.len().saturating_sub(1);
-        for (i, name) in files.iter().enumerate() {
-            let path = dir.join(name);
-            let is_tail = i == last;
+        let last = listed.len().saturating_sub(1);
+        for (i, entry) in listed.iter().enumerate() {
+            let path = dir.join(&entry.name);
+            let tail_skippable = i == last && !entry.sealed;
             let bytes = match read_with_retry(&*io, &path, READ_RETRY_ATTEMPTS, READ_RETRY_BACKOFF)
             {
                 Ok((bytes, retries)) => {
                     stats.record_read_retries(retries);
                     bytes
                 }
-                Err(e) if is_tail && e.kind() == std::io::ErrorKind::NotFound => {
+                Err(e) if tail_skippable && e.kind() == std::io::ErrorKind::NotFound => {
                     stats.record_tail_sst_skipped();
                     skipped_tail = true;
                     continue;
@@ -242,9 +335,12 @@ impl Db {
             match SsTable::from_bytes(&bytes, &stats) {
                 Ok(sst) => {
                     ssts.push(sst);
-                    kept.push(name.clone());
+                    kept.push(Slot {
+                        name: entry.name.clone(),
+                        sealed: entry.sealed,
+                    });
                 }
-                Err(_) if is_tail => {
+                Err(_) if tail_skippable => {
                     stats.record_tail_sst_skipped();
                     skipped_tail = true;
                     let _ = io.remove(&path);
@@ -258,11 +354,23 @@ impl Db {
             }
         }
 
-        // Remove leftover temporaries from interrupted writes.
+        // Remove leftover temporaries from interrupted writes, and — when the
+        // MANIFEST was authoritative — orphaned SSTs it does not name (a
+        // merged output whose commit never landed must not linger: a later
+        // manifest loss would make the dir-scan fallback adopt it as newest).
         if let Ok(listing) = io.list(&dir) {
+            let live: std::collections::HashSet<&str> =
+                kept.iter().map(|s| s.name.as_str()).collect();
             for path in listing {
                 if path.extension().is_some_and(|e| e == "tmp") {
                     let _ = io.remove(&path);
+                } else if authoritative {
+                    let orphan_sst = path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                        persist::parse_sst_file_name(n).is_some() && !live.contains(n)
+                    });
+                    if orphan_sst {
+                        let _ = io.remove(&path);
+                    }
                 }
             }
         }
@@ -297,17 +405,19 @@ impl Db {
             }
         });
 
-        files = kept;
         let persistence = Persistence {
             dir,
             io,
-            files: Mutex::new(files),
+            files: Mutex::new(kept.into_iter().map(Some).collect()),
             next_file_no: AtomicU64::new(next_file_no),
         };
-        // If the tail was dropped, commit the cleaned manifest right away so
-        // the next open starts from a consistent state.
-        if skipped_tail && persistence.write_manifest().is_err() {
-            stats.record_persist_failure();
+        // If the tail was dropped or retirements were replayed, commit the
+        // cleaned manifest right away so the next open starts consistent.
+        if skipped_tail || !retired.is_empty() {
+            let entries = manifest_entries(&persistence.files.lock());
+            if persistence.write_manifest_with(&entries, &[]).is_err() {
+                stats.record_persist_failure();
+            }
         }
         if tree_dirty {
             if let Some(tree) = &tree {
@@ -331,8 +441,13 @@ impl Db {
         })
     }
 
-    /// Degraded manifest recovery: list `*.sst` files in number order.
-    fn scan_dir(io: &dyn StorageIo, dir: &Path) -> Result<(Vec<String>, u64), PersistError> {
+    /// Degraded manifest recovery: list `*.sst` files in number order. Every
+    /// adopted file is unsealed (the sealed flags lived in the lost
+    /// manifest), so recovery keeps its tail-skip escape hatch.
+    fn scan_dir(
+        io: &dyn StorageIo,
+        dir: &Path,
+    ) -> Result<(Vec<persist::ManifestEntry>, Vec<String>, u64), PersistError> {
         let listing = io.list(dir).map_err(|e| PersistError::Io {
             path: dir.to_path_buf(),
             source: e,
@@ -346,7 +461,14 @@ impl Db {
             .collect();
         numbered.sort();
         let next = numbered.last().map_or(1, |&(n, _)| n + 1);
-        Ok((numbered.into_iter().map(|(_, n)| n).collect(), next))
+        let entries = numbered
+            .into_iter()
+            .map(|(_, name)| persist::ManifestEntry {
+                name,
+                sealed: false,
+            })
+            .collect();
+        Ok((entries, Vec::new(), next))
     }
 
     /// The directory this store persists to, if it is durable.
@@ -363,15 +485,31 @@ impl Db {
         }
     }
 
+    /// Delete a key: buffers a tombstone that shadows every older version of
+    /// the key until a full-window compaction drops both. Like [`Db::put`],
+    /// flushes the memtable when it reaches the configured size.
+    pub fn delete(&self, key: u64) {
+        self.memtable.delete(key);
+        if self.memtable.len() >= self.options.memtable_flush_entries {
+            self.flush();
+        }
+    }
+
     /// Force-flush the memtable into a new level-0 SST. For durable stores
     /// the SST is also serialized to disk (atomic write-then-rename) and
     /// committed to the MANIFEST; if persistence fails the flush degrades to
-    /// memory-only and the failure is counted in `persist_failures`.
+    /// memory-only, the failure is counted in `persist_failures`, the
+    /// `unpersisted_ssts` gauge reports the backlog, and the *next* flush
+    /// retries every still-unpersisted table before committing. The MANIFEST
+    /// only ever names the longest fully-persisted prefix of the table set,
+    /// so a newer file can never commit past an unpersisted older one.
     ///
     /// Under tree routing the flush also appends the SST's leaf to the
     /// [`FilterTree`], re-unions its ancestors, and (durable stores) rewrites
-    /// the checksummed `TREE` file — a crash between the MANIFEST commit and
-    /// the TREE write is safe, recovery detects the stale tree and rebuilds.
+    /// the checksummed `TREE` file. The table-set mutation, the MANIFEST
+    /// commit and the TREE write all happen under the `ssts` write lock, so
+    /// concurrent flushes serialize and the persisted TREE always matches the
+    /// manifest it was written with.
     pub fn flush(&self) {
         let entries = self.memtable.drain_sorted();
         if entries.is_empty() {
@@ -383,32 +521,223 @@ impl Db {
             self.options.filter_kind,
             self.options.bits_per_key,
         );
+        let mut ssts = self.ssts.write();
+        ssts.push(sst);
         if let Some(p) = &self.persist {
-            if p.persist_sst(&sst).is_err() {
+            let mut slots = p.files.lock();
+            slots.push(None);
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.is_none() {
+                    match p.persist_sst(&ssts[i]) {
+                        Ok(name) => {
+                            *slot = Some(Slot {
+                                name,
+                                sealed: false,
+                            })
+                        }
+                        Err(_) => self.stats.record_persist_failure(),
+                    }
+                }
+            }
+            self.stats
+                .record_unpersisted_ssts(slots.iter().filter(|s| s.is_none()).count() as u64);
+            if p.write_manifest_with(&manifest_entries(&slots), &[])
+                .is_err()
+            {
                 self.stats.record_persist_failure();
             }
         }
-        let mut ssts = self.ssts.write();
-        ssts.push(sst);
-        let tree_bytes = self.tree.as_ref().and_then(|tree| {
+        if let Some(tree) = &self.tree {
             let mut tree = tree.write();
             tree.push_leaf(&ssts);
-            self.persist.as_ref().map(|_| tree.to_bytes())
-        });
-        drop(ssts);
-        if let (Some(p), Some(bytes)) = (&self.persist, tree_bytes) {
-            if p.write_atomic(TREE_NAME, &bytes).is_err() {
-                self.stats.record_persist_failure();
+            if let Some(p) = &self.persist {
+                if p.write_atomic(TREE_NAME, &tree.to_bytes()).is_err() {
+                    self.stats.record_persist_failure();
+                }
             }
         }
     }
 
+    /// Compact the entire table set into (at most) one SST. Because the
+    /// window includes the oldest table, shadowed versions *and* tombstones
+    /// are dropped. Returns `Ok(None)` when there was nothing to do. The
+    /// memtable is not flushed first — only on-disk tables participate.
+    pub fn compact(&self) -> Result<Option<CompactionStats>, PersistError> {
+        let len = self.ssts.read().len();
+        self.compact_range(0..len)
+    }
+
+    /// Size-tiered compaction trigger: find the first run of ≥ 2 adjacent
+    /// tables whose entry counts are within 4× of each other and compact it.
+    /// Returns `Ok(None)` when no such run exists.
+    pub fn maybe_compact(&self) -> Result<Option<CompactionStats>, PersistError> {
+        let window = {
+            let ssts = self.ssts.read();
+            let sizes: Vec<usize> = ssts.iter().map(|s| s.num_entries()).collect();
+            pick_tier(&sizes)
+        };
+        match window {
+            Some(w) => self.compact_range(w),
+            None => Ok(None),
+        }
+    }
+
+    /// Merge the adjacent tables `ssts[window]` into at most one table,
+    /// spliced back at the window's position (age order is preserved).
+    /// Shadowed versions are always dropped; tombstones are dropped only when
+    /// `window.start == 0` (nothing older remains that they could be
+    /// shadowing). A single-table window with nothing to drop is a no-op.
+    ///
+    /// Durable stores commit the merge crash-safely:
+    ///
+    /// 1. The merged SST is written and read back until the bytes verify
+    ///    (bounded attempts); it is marked *sealed* in the manifest so
+    ///    recovery never tail-skips it.
+    /// 2. The MANIFEST is rewritten naming the new table set plus the
+    ///    retired inputs (a deletion redo log), and is itself read back and
+    ///    verified — the manifest rename is the commit point.
+    /// 3. Only after the verified commit are the input files deleted and the
+    ///    redo log cleared.
+    ///
+    /// On any persistence error the merged file is removed, the previous
+    /// manifest is restored best-effort, the in-memory store is left
+    /// untouched, and the error is returned — reopening the directory yields
+    /// exactly the pre-compaction state.
+    pub fn compact_range(
+        &self,
+        window: std::ops::Range<usize>,
+    ) -> Result<Option<CompactionStats>, PersistError> {
+        let mut ssts = self.ssts.write();
+        let start = window.start;
+        let end = window.end.min(ssts.len());
+        if start >= end {
+            return Ok(None);
+        }
+
+        // Merge oldest→newest so later (newer) versions overwrite older ones.
+        let input_tables = end - start;
+        let mut input_entries = 0;
+        let mut input_bytes = 0;
+        let mut merged: std::collections::BTreeMap<u64, Value> = std::collections::BTreeMap::new();
+        for sst in &ssts[start..end] {
+            input_entries += sst.num_entries();
+            input_bytes += sst.to_bytes().len();
+            for (k, v) in sst.entries() {
+                merged.insert(k, v);
+            }
+        }
+        let shadowed_dropped = input_entries - merged.len();
+        let mut tombstones_dropped = 0;
+        if start == 0 {
+            let before = merged.len();
+            merged.retain(|_, v| !v.is_tombstone());
+            tombstones_dropped = before - merged.len();
+        }
+        if input_tables == 1 && shadowed_dropped == 0 && tombstones_dropped == 0 {
+            return Ok(None);
+        }
+
+        let entries: Vec<(u64, Value)> = merged.into_iter().collect();
+        let output_entries = entries.len();
+        let output = if entries.is_empty() {
+            None
+        } else {
+            Some(SsTable::build(
+                &entries,
+                self.options.entries_per_block,
+                self.options.filter_kind,
+                self.options.bits_per_key,
+            ))
+        };
+        let output_bytes = output.as_ref().map_or(0, |s| s.to_bytes().len());
+
+        if let Some(p) = &self.persist {
+            let mut slots = p.files.lock();
+            debug_assert_eq!(slots.len(), ssts.len(), "file ledger out of sync");
+            let merged_slot = match &output {
+                Some(sst) => match p.write_sst_verified(sst, &self.stats) {
+                    Ok(name) => Some(Slot { name, sealed: true }),
+                    Err(e) => {
+                        self.stats.record_persist_failure();
+                        return Err(e);
+                    }
+                },
+                None => None,
+            };
+            let mut new_slots: Vec<Option<Slot>> = slots[..start].to_vec();
+            if let Some(slot) = &merged_slot {
+                new_slots.push(Some(slot.clone()));
+            }
+            new_slots.extend_from_slice(&slots[end..]);
+            let retired: Vec<String> = slots[start..end]
+                .iter()
+                .flatten()
+                .map(|s| s.name.clone())
+                .collect();
+            if let Err(e) =
+                p.write_manifest_verified(&manifest_entries(&new_slots), &retired, &self.stats)
+            {
+                // Abort: remove the merged file first (`remove` cannot be
+                // torn), then restore the previous manifest best-effort.
+                // Every recovery path now lands on the pre-compaction state.
+                if let Some(slot) = &merged_slot {
+                    let _ = p.io.remove(&p.dir.join(&slot.name));
+                }
+                let _ = p.write_manifest_with(&manifest_entries(&slots), &[]);
+                self.stats.record_persist_failure();
+                return Err(e);
+            }
+            // Committed. Delete the retired inputs and clear the redo log;
+            // both are best-effort — open replays the log if this is cut
+            // short.
+            for name in &retired {
+                let _ = p.io.remove(&p.dir.join(name));
+            }
+            let _ = p.write_manifest_with(&manifest_entries(&new_slots), &[]);
+            *slots = new_slots;
+            self.stats
+                .record_unpersisted_ssts(slots.iter().filter(|s| s.is_none()).count() as u64);
+        }
+
+        // Splice the in-memory table set the same way.
+        let has_output = output.is_some();
+        let tail = ssts.split_off(end);
+        ssts.truncate(start);
+        if let Some(sst) = output {
+            ssts.push(sst);
+        }
+        ssts.extend(tail);
+
+        if let Some(tree) = &self.tree {
+            let mut tree = tree.write();
+            let replacement = if has_output { Some(&ssts[start]) } else { None };
+            tree.retire_and_splice(start..end, replacement, &ssts, &self.stats);
+            if let Some(p) = &self.persist {
+                if p.write_atomic(TREE_NAME, &tree.to_bytes()).is_err() {
+                    self.stats.record_persist_failure();
+                }
+            }
+        }
+
+        Ok(Some(CompactionStats {
+            input_tables,
+            output_tables: has_output as usize,
+            input_entries,
+            output_entries,
+            shadowed_dropped,
+            tombstones_dropped,
+            input_bytes,
+            output_bytes,
+        }))
+    }
+
     /// Point lookup: memtable first, then SSTs newest to oldest. Under tree
     /// routing only the tree's candidate SSTs are probed (newest first, so
-    /// the freshest version still wins).
+    /// the freshest version still wins). A tombstone answers the lookup with
+    /// `None` — older tables are never consulted past it.
     pub fn get(&self, key: u64) -> Option<Vec<u8>> {
         if let Some(v) = self.memtable.get(key) {
-            return Some(v);
+            return v.into_put();
         }
         let ssts = self.ssts.read();
         match &self.tree {
@@ -417,7 +746,7 @@ impl Db {
                 self.stats.record_ssts_probed(candidates.len() as u64);
                 for &i in candidates.iter().rev() {
                     if let Some(v) = ssts[i].get(key, &self.options.io_model, &self.stats) {
-                        return Some(v);
+                        return v.into_put();
                     }
                 }
                 None
@@ -426,7 +755,7 @@ impl Db {
                 self.stats.record_ssts_probed(ssts.len() as u64);
                 for sst in ssts.iter().rev() {
                     if let Some(v) = sst.get(key, &self.options.io_model, &self.stats) {
-                        return Some(v);
+                        return v.into_put();
                     }
                 }
                 None
@@ -435,22 +764,27 @@ impl Db {
     }
 
     /// Range scan over `[lo, hi]`, returning up to `limit` entries in key
-    /// order (newest version wins for duplicate keys).
+    /// order (newest version wins for duplicate keys; deleted keys are
+    /// absent). Each source is scanned without a limit internally — a
+    /// tombstone may shadow an entry a limited scan would have stopped at.
     pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
-        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> =
-            std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<u64, Value> = std::collections::BTreeMap::new();
         {
             let ssts = self.ssts.read();
             for sst in ssts.iter() {
-                for (k, v) in sst.scan(lo, hi, limit, &self.options.io_model, &self.stats) {
+                for (k, v) in sst.scan(lo, hi, usize::MAX, &self.options.io_model, &self.stats) {
                     merged.insert(k, v); // later (newer) tables overwrite
                 }
             }
         }
-        for (k, v) in self.memtable.scan(lo, hi, limit) {
+        for (k, v) in self.memtable.scan(lo, hi, usize::MAX) {
             merged.insert(k, v);
         }
-        merged.into_iter().take(limit).collect()
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.into_put().map(|v| (k, v)))
+            .take(limit)
+            .collect()
     }
 
     /// Batched, multi-threaded point lookup: element `i` equals
@@ -478,9 +812,11 @@ impl Db {
         })
     }
 
-    /// One worker's share of [`Db::get_batch`].
+    /// One worker's share of [`Db::get_batch`]. Tracks versioned values
+    /// internally so a tombstone hit in a newer table blocks older tables,
+    /// exactly like [`Db::get`].
     fn get_chunk(&self, keys: &[u64]) -> Vec<Option<Vec<u8>>> {
-        let mut out: Vec<Option<Vec<u8>>> = keys.iter().map(|&k| self.memtable.get(k)).collect();
+        let mut out: Vec<Option<Value>> = keys.iter().map(|&k| self.memtable.get(k)).collect();
         let ssts = self.ssts.read();
         match &self.tree {
             Some(tree) => {
@@ -529,7 +865,9 @@ impl Db {
                 }
             }
         }
-        out
+        out.into_iter()
+            .map(|v| v.and_then(Value::into_put))
+            .collect()
     }
 
     /// Batched, multi-threaded range-emptiness check: element `i` equals
@@ -613,6 +951,11 @@ impl Db {
     /// Range emptiness check (the filter-driven fast path the paper measures):
     /// like [`Db::scan`] with `limit = 1` but without materializing values.
     /// Under tree routing only the tree's candidate SSTs are consulted.
+    ///
+    /// This is a *possibly*-non-empty verdict with no false negatives: any
+    /// entry in the range — a tombstone included — counts as a possible hit,
+    /// so a range whose keys were all deleted may still report `true`. Use
+    /// [`Db::scan`] for the exact answer.
     pub fn range_is_possibly_non_empty(&self, lo: u64, hi: u64) -> bool {
         if self.memtable.first_in_range(lo, hi).is_some() {
             return true;
@@ -652,7 +995,8 @@ impl Db {
         self.ssts.read().len()
     }
 
-    /// Total number of entries across memtable and SSTs.
+    /// Total number of entries across memtable and SSTs (tombstones
+    /// included — they are entries until compaction drops them).
     pub fn num_entries(&self) -> usize {
         self.memtable.len()
             + self
@@ -698,6 +1042,32 @@ impl Db {
     }
 }
 
+/// Find the first run of ≥ 2 adjacent tables whose sizes are within 4× of
+/// each other (sizes clamped to ≥ 1 so empty tables group with anything).
+fn pick_tier(sizes: &[usize]) -> Option<std::ops::Range<usize>> {
+    let mut start = 0;
+    while start < sizes.len() {
+        let mut min = sizes[start].max(1);
+        let mut max = sizes[start].max(1);
+        let mut end = start + 1;
+        while end < sizes.len() {
+            let s = sizes[end].max(1);
+            let (new_min, new_max) = (min.min(s), max.max(s));
+            if new_max > 4 * new_min {
+                break;
+            }
+            min = new_min;
+            max = new_max;
+            end += 1;
+        }
+        if end - start >= 2 {
+            return Some(start..end);
+        }
+        start += 1;
+    }
+    None
+}
+
 impl Persistence {
     /// Write `data` to `<dir>/<name>` atomically: the bytes go to a `.tmp`
     /// sibling first and are renamed into place, so a crash leaves either the
@@ -714,20 +1084,109 @@ impl Persistence {
             .map_err(|e| PersistError::Io { path, source: e })
     }
 
-    /// Commit the current file list to the MANIFEST.
-    fn write_manifest(&self) -> Result<(), PersistError> {
-        let files = self.files.lock().clone();
-        let manifest = persist::encode_manifest(&files, self.next_file_no.load(Ordering::Relaxed));
+    /// Commit a manifest naming `entries` live and `retired` pending
+    /// deletion (no read-back verification — flush-path commits accept the
+    /// tail-skip recovery story instead).
+    fn write_manifest_with(
+        &self,
+        entries: &[persist::ManifestEntry],
+        retired: &[String],
+    ) -> Result<(), PersistError> {
+        let manifest =
+            persist::encode_manifest(entries, retired, self.next_file_no.load(Ordering::Relaxed));
         self.write_atomic(MANIFEST_NAME, &manifest)
     }
 
-    /// Persist a freshly built SST and commit it to the MANIFEST.
-    fn persist_sst(&self, sst: &SsTable) -> Result<(), PersistError> {
+    /// Commit a manifest and read it back until the bytes verify — the
+    /// compaction commit point must not be a torn write that decodes as
+    /// garbage *or* silently reverts to the dir-scan fallback.
+    fn write_manifest_verified(
+        &self,
+        entries: &[persist::ManifestEntry],
+        retired: &[String],
+        stats: &ReadStats,
+    ) -> Result<(), PersistError> {
+        let manifest =
+            persist::encode_manifest(entries, retired, self.next_file_no.load(Ordering::Relaxed));
+        let path = self.dir.join(MANIFEST_NAME);
+        let mut last_err = None;
+        for _ in 0..COMMIT_VERIFY_ATTEMPTS {
+            if let Err(e) = self.write_atomic(MANIFEST_NAME, &manifest) {
+                last_err = Some(e);
+                continue;
+            }
+            match read_with_retry(&*self.io, &path, READ_RETRY_ATTEMPTS, READ_RETRY_BACKOFF) {
+                Ok((bytes, retries)) => {
+                    stats.record_read_retries(retries);
+                    if bytes == manifest {
+                        return Ok(());
+                    }
+                    last_err = Some(verify_failed(&path, "manifest"));
+                }
+                Err(e) => {
+                    last_err = Some(PersistError::Io {
+                        path: path.clone(),
+                        source: e,
+                    })
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| verify_failed(&path, "manifest")))
+    }
+
+    /// Persist a freshly flushed SST under the next file number. The caller
+    /// commits the manifest separately.
+    fn persist_sst(&self, sst: &SsTable) -> Result<String, PersistError> {
         let n = self.next_file_no.fetch_add(1, Ordering::Relaxed);
         let name = persist::sst_file_name(n);
         self.write_atomic(&name, &sst.to_bytes())?;
-        self.files.lock().push(name);
-        self.write_manifest()
+        Ok(name)
+    }
+
+    /// Persist a merged SST and read it back until the bytes verify. The
+    /// merged table will be sealed (recovery cannot tail-skip it), so a torn
+    /// write that survives to the manifest commit would poison the store —
+    /// verify before committing. On exhaustion the file is removed.
+    fn write_sst_verified(&self, sst: &SsTable, stats: &ReadStats) -> Result<String, PersistError> {
+        let n = self.next_file_no.fetch_add(1, Ordering::Relaxed);
+        let name = persist::sst_file_name(n);
+        let bytes = sst.to_bytes();
+        let path = self.dir.join(&name);
+        let mut last_err = None;
+        for _ in 0..COMMIT_VERIFY_ATTEMPTS {
+            if let Err(e) = self.write_atomic(&name, &bytes) {
+                last_err = Some(e);
+                continue;
+            }
+            match read_with_retry(&*self.io, &path, READ_RETRY_ATTEMPTS, READ_RETRY_BACKOFF) {
+                Ok((got, retries)) => {
+                    stats.record_read_retries(retries);
+                    if got == bytes {
+                        return Ok(name);
+                    }
+                    last_err = Some(verify_failed(&path, "merged SST"));
+                }
+                Err(e) => {
+                    last_err = Some(PersistError::Io {
+                        path: path.clone(),
+                        source: e,
+                    })
+                }
+            }
+        }
+        let _ = self.io.remove(&path);
+        Err(last_err.unwrap_or_else(|| verify_failed(&path, "merged SST")))
+    }
+}
+
+/// Typed error for a write whose read-back never matched.
+fn verify_failed(path: &Path, what: &str) -> PersistError {
+    PersistError::Io {
+        path: path.to_path_buf(),
+        source: std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{what} failed read-back verification"),
+        ),
     }
 }
 
@@ -808,6 +1267,148 @@ mod tests {
     }
 
     #[test]
+    fn deletes_shadow_older_versions_without_compaction() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        db.put(5, vec![1]);
+        db.put(6, vec![2]);
+        db.flush();
+        db.delete(5);
+        // Tombstone still in the memtable shadows the flushed value.
+        assert_eq!(db.get(5), None);
+        db.flush();
+        // ... and keeps shadowing once flushed into its own SST.
+        assert_eq!(db.get(5), None);
+        assert_eq!(db.get(6), Some(vec![2]));
+        assert_eq!(db.scan(0, 10, 10), vec![(6, vec![2])]);
+        assert_eq!(db.get_batch(&[5, 6], 1), vec![None, Some(vec![2])]);
+        // The emptiness check is a *possibly* verdict: the tombstone entry
+        // counts as a hit even though the live range is empty.
+        assert!(db.range_is_possibly_non_empty(5, 5));
+    }
+
+    #[test]
+    fn compact_merges_shadowed_versions_and_drops_tombstones() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        for i in 0..1000u64 {
+            db.put(i, vec![1]); // auto-flushes at 1000 entries
+        }
+        for i in 0..1000u64 {
+            db.put(i, vec![2]);
+        }
+        for i in 0..500u64 {
+            db.delete(i * 2);
+        }
+        db.flush();
+        assert_eq!(db.num_ssts(), 3);
+        assert_eq!(db.num_entries(), 2500);
+
+        let stats = db.compact().unwrap().expect("compaction had work to do");
+        assert_eq!(stats.input_tables, 3);
+        assert_eq!(stats.output_tables, 1);
+        assert_eq!(stats.input_entries, 2500);
+        assert_eq!(stats.shadowed_dropped, 1500);
+        assert_eq!(stats.tombstones_dropped, 500);
+        assert_eq!(stats.output_entries, 500);
+        assert!(stats.output_bytes < stats.input_bytes);
+        assert_eq!(db.num_ssts(), 1);
+        assert_eq!(db.num_entries(), 500);
+
+        for i in 0..500u64 {
+            assert_eq!(db.get(i * 2), None, "deleted key {} resurrected", i * 2);
+            assert_eq!(db.get(i * 2 + 1), Some(vec![2]));
+        }
+        assert_eq!(db.scan(0, 2000, 10_000).len(), 500);
+        // Compacting again is a no-op: one table, nothing shadowed.
+        assert_eq!(db.compact().unwrap(), None);
+    }
+
+    #[test]
+    fn compact_window_keeps_tombstones_when_older_tables_remain() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        db.put(1, vec![9]);
+        db.flush();
+        db.put(2, vec![1]);
+        db.flush();
+        db.delete(1);
+        db.flush();
+        assert_eq!(db.num_ssts(), 3);
+
+        // Merging the two newest tables must keep the tombstone: table 0
+        // still holds an older version of key 1 it has to shadow.
+        let stats = db.compact_range(1..3).unwrap().unwrap();
+        assert_eq!(stats.input_tables, 2);
+        assert_eq!(stats.tombstones_dropped, 0);
+        assert_eq!(stats.output_entries, 2);
+        assert_eq!(db.num_ssts(), 2);
+        assert_eq!(db.get(1), None, "tombstone must survive a partial window");
+        assert_eq!(db.get(2), Some(vec![1]));
+
+        // A full-window compaction finally expires it.
+        let stats = db.compact().unwrap().unwrap();
+        assert_eq!(stats.tombstones_dropped, 1);
+        assert_eq!(db.num_ssts(), 1);
+        assert_eq!(db.get(1), None);
+        assert_eq!(db.get(2), Some(vec![1]));
+        assert_eq!(db.scan(0, 10, 10), vec![(2, vec![1])]);
+    }
+
+    #[test]
+    fn compacting_only_tombstones_can_empty_the_store() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        db.put(7, vec![1]);
+        db.flush();
+        db.delete(7);
+        db.flush();
+        let stats = db.compact().unwrap().unwrap();
+        assert_eq!(stats.output_tables, 0);
+        assert_eq!(stats.output_entries, 0);
+        assert_eq!(db.num_ssts(), 0);
+        assert_eq!(db.get(7), None);
+        assert!(db.scan(0, 100, 10).is_empty());
+        // The store keeps working after shrinking to empty.
+        db.put(8, vec![2]);
+        db.flush();
+        assert_eq!(db.get(8), Some(vec![2]));
+    }
+
+    #[test]
+    fn maybe_compact_picks_a_similar_sized_run() {
+        let db = small_db(FilterKind::BloomRf { max_range: 1e6 });
+        for i in 0..1000u64 {
+            db.put(i, vec![0u8; 64]); // one big table
+        }
+        for t in 0..4u64 {
+            for i in 0..20u64 {
+                db.put(10_000 + t * 100 + i, vec![0u8; 8]);
+            }
+            db.flush(); // four small tables
+        }
+        assert_eq!(db.num_ssts(), 5);
+        let stats = db.maybe_compact().unwrap().expect("run of small tables");
+        assert_eq!(stats.input_tables, 4, "the big table must stay out");
+        assert_eq!(db.num_ssts(), 2);
+        // No similar-sized run remains: [1000, 80] is beyond the 4× band.
+        assert_eq!(db.maybe_compact().unwrap(), None);
+        for t in 0..4u64 {
+            assert_eq!(db.get(10_000 + t * 100), Some(vec![0u8; 8]));
+        }
+        assert_eq!(db.get(500), Some(vec![0u8; 64]));
+    }
+
+    #[test]
+    fn pick_tier_finds_first_similar_run() {
+        assert_eq!(pick_tier(&[]), None);
+        assert_eq!(pick_tier(&[100]), None);
+        assert_eq!(pick_tier(&[100, 90]), Some(0..2));
+        assert_eq!(pick_tier(&[1000, 20, 20, 20, 20]), Some(1..5));
+        assert_eq!(pick_tier(&[1000, 80]), None);
+        // Empty tables clamp to size 1 and group with small neighbours.
+        assert_eq!(pick_tier(&[0, 3]), Some(0..2));
+        // The run stops where the size band would break.
+        assert_eq!(pick_tier(&[10, 12, 100, 110]), Some(0..2));
+    }
+
+    #[test]
     fn empty_range_scans_are_pruned_by_range_filters() {
         let db = small_db(FilterKind::BloomRf { max_range: 1e4 });
         for i in 0..4000u64 {
@@ -861,12 +1462,18 @@ mod tests {
         for i in 0..3500u64 {
             db.put(i * 50, vec![(i % 200) as u8; 12]);
         }
+        // Sprinkle deletes across flushed tables and the memtable so the
+        // batch path has tombstones to honour.
+        for i in (0..3500u64).step_by(31) {
+            db.delete(i * 50);
+        }
         // Leave some entries in the memtable so the batch path covers it too.
         assert!(db.memtable_len() > 0);
         let probes: Vec<u64> = (0..1200u64)
             .map(|i| if i % 2 == 0 { i * 50 } else { i * 50 + 13 })
             .collect();
         let expected: Vec<Option<Vec<u8>>> = probes.iter().map(|&k| db.get(k)).collect();
+        assert!(expected.iter().any(|v| v.is_none()));
         for threads in [1usize, 2, 4, 0] {
             assert_eq!(
                 db.get_batch(&probes, threads),

@@ -12,9 +12,13 @@
 //! * [`sst::SsTable`] — an immutable sorted run with data blocks, a block
 //!   index (fence pointers) and one filter block per table, built by any
 //!   [`bloomrf_filters::FilterKind`] (bloomRF, Rosetta, SuRF, Bloom, …).
-//! * [`db::Db`] — level-0-only LSM store: put / get / scan /
+//! * [`db::Db`] — level-0 LSM store: put / delete / get / scan /
 //!   range-emptiness, with per-query statistics (filter probes, simulated I/O
 //!   wait, residual CPU) feeding the cost-breakdown experiment (Fig. 12.G).
+//!   Deletes buffer [`value::Value::Tombstone`] markers; size-tiered
+//!   [`db::Db::compact`] merges table windows, drops shadowed versions and
+//!   expired tombstones, and retires input files crash-safely
+//!   (`docs/compaction.md`).
 //! * [`tree::FilterTree`] — Bloofi-style filter tree over the live SST set:
 //!   inner bloomRF filters aggregate their children, so point *and* range
 //!   reads descend fan-out-`F` levels and prune whole subtrees instead of
@@ -51,8 +55,9 @@ pub mod sst;
 pub mod stats;
 pub mod tree;
 pub mod typed;
+pub mod value;
 
-pub use db::{Db, DbOptions, ReadRouting};
+pub use db::{CompactionStats, Db, DbOptions, ReadRouting};
 pub use io::{FaultConfig, FaultyIo, RealIo, StorageIo};
 pub use memtable::MemTable;
 pub use persist::{Corruption, PersistError};
@@ -60,3 +65,4 @@ pub use sst::SsTable;
 pub use stats::{IoModel, ReadStats, ReadStatsSnapshot};
 pub use tree::{FilterTree, TreeOptions};
 pub use typed::TypedDb;
+pub use value::Value;

@@ -6,15 +6,21 @@
 //! Our memtable is an ordered map behind a read-write lock, which preserves
 //! the relevant behaviour: point and range reads must consult it *in addition
 //! to* the filtered SST files.
+//!
+//! Deletes are buffered as [`Value::Tombstone`] entries: a tombstone is a
+//! real entry (it flushes into the SST like any put) that shadows every older
+//! version of its key until compaction drops it.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use crate::value::Value;
+
 /// An ordered, thread-safe write buffer.
 #[derive(Debug, Default)]
 pub struct MemTable {
-    entries: RwLock<BTreeMap<u64, Vec<u8>>>,
+    entries: RwLock<BTreeMap<u64, Value>>,
     approximate_bytes: std::sync::atomic::AtomicUsize,
 }
 
@@ -26,24 +32,36 @@ impl MemTable {
 
     /// Insert or overwrite a key.
     pub fn put(&self, key: u64, value: Vec<u8>) {
-        let added = 8 + value.len();
+        self.insert(key, Value::Put(value));
+    }
+
+    /// Record a delete for `key`: a tombstone entry that shadows every older
+    /// version of the key in the SSTs below.
+    pub fn delete(&self, key: u64) {
+        self.insert(key, Value::Tombstone);
+    }
+
+    fn insert(&self, key: u64, value: Value) {
+        let added = 8 + value.payload_len();
         let mut map = self.entries.write();
         if let Some(old) = map.insert(key, value) {
             self.approximate_bytes
-                .fetch_sub(8 + old.len(), std::sync::atomic::Ordering::Relaxed);
+                .fetch_sub(8 + old.payload_len(), std::sync::atomic::Ordering::Relaxed);
         }
         self.approximate_bytes
             .fetch_add(added, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// Point lookup.
-    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+    /// Point lookup. `Some(Value::Tombstone)` means the key was deleted here
+    /// — callers must *not* fall through to older tables.
+    pub fn get(&self, key: u64) -> Option<Value> {
         self.entries.read().get(&key).cloned()
     }
 
-    /// Smallest entry with key in `[lo, hi]`, if any. Reversed bounds are an
-    /// empty interval (`BTreeMap::range` would panic on them).
-    pub fn first_in_range(&self, lo: u64, hi: u64) -> Option<(u64, Vec<u8>)> {
+    /// Smallest entry (tombstones included) with key in `[lo, hi]`, if any.
+    /// Reversed bounds are an empty interval (`BTreeMap::range` would panic
+    /// on them).
+    pub fn first_in_range(&self, lo: u64, hi: u64) -> Option<(u64, Value)> {
         if lo > hi {
             return None;
         }
@@ -53,9 +71,9 @@ impl MemTable {
             .map(|(k, v)| (*k, v.clone()))
     }
 
-    /// All entries with keys in `[lo, hi]`, up to `limit`. Reversed bounds
-    /// are an empty interval.
-    pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+    /// All entries (tombstones included) with keys in `[lo, hi]`, up to
+    /// `limit`. Reversed bounds are an empty interval.
+    pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Value)> {
         if lo > hi {
             return Vec::new();
         }
@@ -66,7 +84,7 @@ impl MemTable {
             .collect()
     }
 
-    /// Number of entries.
+    /// Number of entries (tombstones included).
     pub fn len(&self) -> usize {
         self.entries.read().len()
     }
@@ -83,7 +101,7 @@ impl MemTable {
     }
 
     /// Drain every entry in key order (used by flush).
-    pub fn drain_sorted(&self) -> Vec<(u64, Vec<u8>)> {
+    pub fn drain_sorted(&self) -> Vec<(u64, Value)> {
         let mut map = self.entries.write();
         self.approximate_bytes
             .store(0, std::sync::atomic::Ordering::Relaxed);
@@ -101,14 +119,32 @@ mod tests {
         assert!(mt.is_empty());
         mt.put(5, vec![1, 2, 3]);
         mt.put(10, vec![4]);
-        assert_eq!(mt.get(5), Some(vec![1, 2, 3]));
+        assert_eq!(mt.get(5), Some(Value::Put(vec![1, 2, 3])));
         assert_eq!(mt.get(11), None);
         assert_eq!(mt.len(), 2);
         let before = mt.approximate_bytes();
         mt.put(5, vec![9; 100]);
-        assert_eq!(mt.get(5), Some(vec![9; 100]));
+        assert_eq!(mt.get(5), Some(Value::Put(vec![9; 100])));
         assert_eq!(mt.len(), 2);
         assert!(mt.approximate_bytes() > before);
+    }
+
+    #[test]
+    fn deletes_leave_tombstones() {
+        let mt = MemTable::new();
+        mt.put(7, vec![1; 64]);
+        let with_value = mt.approximate_bytes();
+        mt.delete(7);
+        assert_eq!(mt.get(7), Some(Value::Tombstone));
+        assert_eq!(mt.len(), 1, "a tombstone is an entry, not an absence");
+        assert!(mt.approximate_bytes() < with_value);
+        // Deleting an absent key still records the tombstone (it may shadow
+        // an older SST version the memtable cannot see).
+        mt.delete(8);
+        assert_eq!(mt.get(8), Some(Value::Tombstone));
+        // A later put resurrects the key.
+        mt.put(7, vec![2]);
+        assert_eq!(mt.get(7), Some(Value::Put(vec![2])));
     }
 
     #[test]
@@ -122,7 +158,11 @@ mod tests {
         assert_eq!(mt.scan(0, 100, 10).len(), 4);
         assert_eq!(mt.scan(0, 100, 2).len(), 2);
         assert_eq!(mt.scan(21, 29, 10).len(), 0);
-        assert_eq!(mt.scan(20, 20, 10), vec![(20, vec![20])]);
+        assert_eq!(mt.scan(20, 20, 10), vec![(20, Value::Put(vec![20]))]);
+        // Tombstones are visible to range reads (they shadow older tables).
+        mt.delete(25);
+        assert_eq!(mt.first_in_range(21, 29), Some((25, Value::Tombstone)));
+        assert_eq!(mt.scan(21, 29, 10), vec![(25, Value::Tombstone)]);
     }
 
     #[test]
@@ -131,11 +171,13 @@ mod tests {
         for k in [30u64, 10, 20] {
             mt.put(k, vec![]);
         }
+        mt.delete(15);
         let drained = mt.drain_sorted();
         assert_eq!(
             drained.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-            vec![10, 20, 30]
+            vec![10, 15, 20, 30]
         );
+        assert_eq!(drained[1].1, Value::Tombstone);
         assert!(mt.is_empty());
         assert_eq!(mt.approximate_bytes(), 0);
     }

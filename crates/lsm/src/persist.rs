@@ -17,11 +17,23 @@
 //! | 3 | data   | the serialized data blocks, length-prefixed |
 //! | 4 | filter | the filter block bytes ([`bloomrf::BloomRf::to_bytes`]) or a rebuild marker |
 //!
+//! Format version 2 extends the block entry encoding with tombstones: an
+//! entry is `key (u64) | meta (u32) | payload`, where bit 31 of `meta`
+//! ([`TOMBSTONE_FLAG`]) marks a delete marker (no payload, length bits zero)
+//! and the low 31 bits are the payload length. Version 1 files — whose
+//! `meta` field was a plain length — decode unchanged; the tombstone bit is
+//! rejected as corruption in a v1 file.
+//!
 //! The MANIFEST (magic `BMAN`) lists the live SST files in age order plus the
-//! next file number. Files are always written to a `.tmp` sibling and
-//! `rename`d into place, so a crash leaves either the old state or the new
-//! one — never a half-written live file; a torn tail can only affect the most
-//! recent, not-yet-committed SST, which recovery detects and skips.
+//! next file number. Version 2 adds a per-file flags byte (bit 0 = *sealed*,
+//! set on verified compaction outputs, which are never tail-skippable during
+//! recovery) and a *retired* list: files whose deletion was committed but may
+//! not have completed — a deletion redo log replayed on open so a crash
+//! between manifest commit and file removal cannot resurrect merged-away
+//! tables. Files are always written to a `.tmp` sibling and `rename`d into
+//! place, so a crash leaves either the old state or the new one — never a
+//! half-written live file; a torn tail can only affect the most recent,
+//! not-yet-committed SST, which recovery detects and skips.
 
 use std::fmt;
 use std::io;
@@ -33,12 +45,19 @@ use bytes::Bytes;
 
 /// Magic bytes opening every persisted SST file.
 pub const SST_MAGIC: &[u8; 4] = b"BSST";
-/// Version of the SST file format produced by this build.
-pub const SST_FORMAT_VERSION: u32 = 1;
+/// Version of the SST file format produced by this build. Version 1 (no
+/// tombstones) is still decoded.
+pub const SST_FORMAT_VERSION: u32 = 2;
 /// Magic bytes opening the MANIFEST.
 pub const MANIFEST_MAGIC: &[u8; 4] = b"BMAN";
-/// Version of the MANIFEST format produced by this build.
-pub const MANIFEST_FORMAT_VERSION: u32 = 1;
+/// Version of the MANIFEST format produced by this build. Version 1 (no
+/// flags, no retired list) is still decoded.
+pub const MANIFEST_FORMAT_VERSION: u32 = 2;
+
+/// Bit 31 of a block entry's `meta` field: the entry is a tombstone (delete
+/// marker). The low 31 bits are the payload length and must be zero for a
+/// tombstone. Only legal in SST format version ≥ 2.
+pub const TOMBSTONE_FLAG: u32 = 1 << 31;
 
 const SECTION_META: u32 = 1;
 const SECTION_INDEX: u32 = 2;
@@ -136,6 +155,8 @@ impl std::error::Error for PersistError {
 pub struct DecodedSst {
     /// Total entry count (verified against the blocks).
     pub num_entries: usize,
+    /// How many of the entries are tombstones (0 for v1 files).
+    pub num_tombstones: usize,
     /// Smallest and largest key (verified against the blocks).
     pub key_range: (u64, u64),
     /// Filter family the table was built with.
@@ -297,7 +318,7 @@ pub(crate) fn decode_filter_kind(tag: u8, param: u64) -> Result<FilterKind, Corr
 // SST file codec
 // ---------------------------------------------------------------------------
 
-/// Serialize an SST into the `BSST` v1 file format. `filter_bytes` is the
+/// Serialize an SST into the `BSST` v2 file format. `filter_bytes` is the
 /// persisted filter block ([`bloomrf::traits::PointRangeFilter::serialize`]),
 /// `None` for families that are rebuilt on recovery.
 pub(crate) fn encode_sst(
@@ -354,13 +375,19 @@ pub(crate) fn encode_sst(
 }
 
 /// Parse one data block, verifying every length against the input and that
-/// keys are strictly ascending. Returns the keys. Never panics and never
-/// allocates beyond the input size.
-fn check_block(data: &[u8], block_idx: usize) -> Result<Vec<u64>, Corruption> {
+/// keys are strictly ascending. Returns the keys and how many entries are
+/// tombstones. Never panics and never allocates beyond the input size.
+/// Tombstone entries (meta bit 31 set, length bits zero, no payload) are only
+/// legal when `allow_tombstones` is set — i.e. in format version ≥ 2.
+fn check_block(
+    data: &[u8],
+    block_idx: usize,
+    allow_tombstones: bool,
+) -> Result<(Vec<u64>, usize), Corruption> {
     let mut cur = 0usize;
     let count = take_u32(data, &mut cur, "data")? as usize;
-    // Each entry is at least 12 bytes (key + value length); reject counts the
-    // input cannot possibly hold before touching them.
+    // Each entry is at least 12 bytes (key + meta); reject counts the input
+    // cannot possibly hold before touching them.
     if count > (data.len() - cur) / 12 {
         return Err(Corruption::new(
             "data",
@@ -368,16 +395,34 @@ fn check_block(data: &[u8], block_idx: usize) -> Result<Vec<u64>, Corruption> {
         ));
     }
     let mut keys = Vec::with_capacity(count);
+    let mut tombstones = 0usize;
     for _ in 0..count {
         let key = take_u64(data, &mut cur, "data")?;
-        let len = take_u32(data, &mut cur, "data")? as usize;
-        if len > data.len() - cur {
-            return Err(Corruption::new(
-                "data",
-                format!("block {block_idx} value length {len} exceeds block"),
-            ));
+        let meta = take_u32(data, &mut cur, "data")?;
+        if meta & TOMBSTONE_FLAG != 0 {
+            if !allow_tombstones {
+                return Err(Corruption::new(
+                    "data",
+                    format!("block {block_idx} has a tombstone in a v1 file"),
+                ));
+            }
+            if meta != TOMBSTONE_FLAG {
+                return Err(Corruption::new(
+                    "data",
+                    format!("block {block_idx} tombstone has non-zero length bits"),
+                ));
+            }
+            tombstones += 1;
+        } else {
+            let len = meta as usize;
+            if len > data.len() - cur {
+                return Err(Corruption::new(
+                    "data",
+                    format!("block {block_idx} value length {len} exceeds block"),
+                ));
+            }
+            cur += len;
         }
-        cur += len;
         if keys.last().is_some_and(|&prev| prev >= key) {
             return Err(Corruption::new(
                 "data",
@@ -392,10 +437,10 @@ fn check_block(data: &[u8], block_idx: usize) -> Result<Vec<u64>, Corruption> {
             format!("block {block_idx} has {} trailing bytes", data.len() - cur),
         ));
     }
-    Ok(keys)
+    Ok((keys, tombstones))
 }
 
-/// Decode and fully verify a `BSST` v1 file: magic, version, per-section
+/// Decode and fully verify a `BSST` v1 or v2 file: magic, version, per-section
 /// CRCs, structural validity of every data block and consistency between
 /// meta, index and blocks. On success the returned [`DecodedSst`] is safe to
 /// serve reads from without further checks — except the filter, whose
@@ -415,12 +460,13 @@ pub fn decode_sst(bytes: &[u8]) -> Result<DecodedSst, Corruption> {
             .try_into()
             .unwrap(),
     );
-    if version != SST_FORMAT_VERSION {
+    if !(1..=SST_FORMAT_VERSION).contains(&version) {
         return Err(Corruption::new(
             "magic",
             format!("unsupported SST format version {version}"),
         ));
     }
+    let allow_tombstones = version >= 2;
     let mut cur = 8usize;
 
     let meta = take_section(bytes, &mut cur, SECTION_META, "meta")?;
@@ -470,6 +516,7 @@ pub fn decode_sst(bytes: &[u8]) -> Result<DecodedSst, Corruption> {
     }
     let mut blocks = Vec::with_capacity(n_blocks.min(data.len() / 4));
     let mut keys: Vec<u64> = Vec::new();
+    let mut num_tombstones = 0usize;
     for (block_idx, &(first, last, count)) in index.iter().enumerate() {
         let len = take_u32(data, &mut d, "data")? as usize;
         if len > data.len() - d {
@@ -480,7 +527,8 @@ pub fn decode_sst(bytes: &[u8]) -> Result<DecodedSst, Corruption> {
         }
         let block = &data[d..d + len];
         d += len;
-        let block_keys = check_block(block, block_idx)?;
+        let (block_keys, block_tombstones) = check_block(block, block_idx, allow_tombstones)?;
+        num_tombstones += block_tombstones;
         let matches_index = block_keys.len() == count as usize
             && block_keys.first() == Some(&first)
             && block_keys.last() == Some(&last)
@@ -557,6 +605,7 @@ pub fn decode_sst(bytes: &[u8]) -> Result<DecodedSst, Corruption> {
 
     Ok(DecodedSst {
         num_entries,
+        num_tombstones,
         key_range: (key_lo, key_hi),
         filter_kind,
         bits_per_key,
@@ -572,13 +621,53 @@ pub fn decode_sst(bytes: &[u8]) -> Result<DecodedSst, Corruption> {
 // MANIFEST codec
 // ---------------------------------------------------------------------------
 
-/// Serialize the MANIFEST: live SST file names in age order plus the next
-/// file number.
-pub(crate) fn encode_manifest(files: &[String], next_file_no: u64) -> Vec<u8> {
+/// One live SST file recorded in the MANIFEST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ManifestEntry {
+    /// The file name (`NNNNNN.sst`).
+    pub name: String,
+    /// True for verified compaction outputs. A sealed file was read back and
+    /// byte-verified before its manifest commit, so a corrupt sealed file at
+    /// recovery is real data loss — never a skippable torn tail.
+    pub sealed: bool,
+}
+
+/// The decoded MANIFEST contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ManifestData {
+    /// Live SST files in age order (oldest first).
+    pub files: Vec<ManifestEntry>,
+    /// Files whose deletion was committed but may not have completed — a
+    /// deletion redo log the opener replays (empty in v1 manifests).
+    pub retired: Vec<String>,
+    /// The next SST file number to allocate.
+    pub next_file_no: u64,
+}
+
+const MANIFEST_FLAG_SEALED: u8 = 1;
+
+/// Serialize the MANIFEST (v2): live SST files in age order with their flags,
+/// the retired-file redo log and the next file number.
+pub(crate) fn encode_manifest(
+    files: &[ManifestEntry],
+    retired: &[String],
+    next_file_no: u64,
+) -> Vec<u8> {
     let mut body = Vec::new();
     body.extend_from_slice(&next_file_no.to_le_bytes());
     body.extend_from_slice(&(files.len() as u32).to_le_bytes());
-    for name in files {
+    for entry in files {
+        let bytes = entry.name.as_bytes();
+        body.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        body.extend_from_slice(bytes);
+        body.push(if entry.sealed {
+            MANIFEST_FLAG_SEALED
+        } else {
+            0
+        });
+    }
+    body.extend_from_slice(&(retired.len() as u32).to_le_bytes());
+    for name in retired {
         let bytes = name.as_bytes();
         body.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
         body.extend_from_slice(bytes);
@@ -592,8 +681,9 @@ pub(crate) fn encode_manifest(files: &[String], next_file_no: u64) -> Vec<u8> {
     out
 }
 
-/// Decode and verify the MANIFEST, returning `(files, next_file_no)`.
-pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(Vec<String>, u64), Corruption> {
+/// Decode and verify the MANIFEST (v1 or v2). A v1 manifest decodes with all
+/// flags clear and an empty retired list.
+pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData, Corruption> {
     let section = "manifest";
     let magic = bytes
         .get(0..4)
@@ -603,7 +693,7 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(Vec<String>, u64), Corrup
     }
     let mut cur = 4usize;
     let version = take_u32(bytes, &mut cur, section)?;
-    if version != MANIFEST_FORMAT_VERSION {
+    if !(1..=MANIFEST_FORMAT_VERSION).contains(&version) {
         return Err(Corruption::new(
             section,
             format!("unsupported manifest version {version}"),
@@ -634,6 +724,13 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(Vec<String>, u64), Corrup
     }
     let mut b = 0usize;
     let next_file_no = take_u64(body, &mut b, section)?;
+    let take_name = |b: &mut usize| -> Result<String, Corruption> {
+        let name_len = u16::from_le_bytes(take(body, b, 2, section)?.try_into().unwrap()) as usize;
+        let name = take(body, b, name_len, section)?;
+        std::str::from_utf8(name)
+            .map(str::to_string)
+            .map_err(|_| Corruption::new(section, "file name is not UTF-8"))
+    };
     let count = take_u32(body, &mut b, section)? as usize;
     if count > (body.len() - b) / 2 {
         return Err(Corruption::new(
@@ -643,17 +740,42 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(Vec<String>, u64), Corrup
     }
     let mut files = Vec::with_capacity(count);
     for _ in 0..count {
-        let name_len =
-            u16::from_le_bytes(take(body, &mut b, 2, section)?.try_into().unwrap()) as usize;
-        let name = take(body, &mut b, name_len, section)?;
-        let name = std::str::from_utf8(name)
-            .map_err(|_| Corruption::new(section, "file name is not UTF-8"))?;
-        files.push(name.to_string());
+        let name = take_name(&mut b)?;
+        let sealed = if version >= 2 {
+            let flags = take(body, &mut b, 1, section)?[0];
+            if flags & !MANIFEST_FLAG_SEALED != 0 {
+                return Err(Corruption::new(
+                    section,
+                    format!("unknown file flags {flags:#04x}"),
+                ));
+            }
+            flags & MANIFEST_FLAG_SEALED != 0
+        } else {
+            false
+        };
+        files.push(ManifestEntry { name, sealed });
+    }
+    let mut retired = Vec::new();
+    if version >= 2 {
+        let retired_count = take_u32(body, &mut b, section)? as usize;
+        if retired_count > (body.len() - b) / 2 {
+            return Err(Corruption::new(
+                section,
+                format!("declares {retired_count} retired files, more than fit"),
+            ));
+        }
+        for _ in 0..retired_count {
+            retired.push(take_name(&mut b)?);
+        }
     }
     if b != body.len() {
         return Err(Corruption::new(section, "trailing bytes in the body"));
     }
-    Ok((files, next_file_no))
+    Ok(ManifestData {
+        files,
+        retired,
+        next_file_no,
+    })
 }
 
 /// The canonical file name of SST number `n`.
@@ -767,9 +889,26 @@ mod tests {
 
     #[test]
     fn manifest_roundtrips_and_rejects_corruption() {
-        let files = vec![sst_file_name(1), sst_file_name(7)];
-        let bytes = encode_manifest(&files, 8);
-        assert_eq!(decode_manifest(&bytes).unwrap(), (files, 8));
+        let files = vec![
+            ManifestEntry {
+                name: sst_file_name(1),
+                sealed: false,
+            },
+            ManifestEntry {
+                name: sst_file_name(7),
+                sealed: true,
+            },
+        ];
+        let retired = vec![sst_file_name(3), sst_file_name(4)];
+        let bytes = encode_manifest(&files, &retired, 8);
+        assert_eq!(
+            decode_manifest(&bytes).unwrap(),
+            ManifestData {
+                files: files.clone(),
+                retired: retired.clone(),
+                next_file_no: 8,
+            }
+        );
         for byte in 0..bytes.len() {
             let mut c = bytes.clone();
             c[byte] ^= 0x40;
@@ -778,10 +917,104 @@ mod tests {
         for len in 0..bytes.len() {
             assert!(decode_manifest(&bytes[..len]).is_err());
         }
+        let empty = decode_manifest(&encode_manifest(&[], &[], 0)).unwrap();
+        assert!(empty.files.is_empty() && empty.retired.is_empty());
+        assert_eq!(empty.next_file_no, 0);
+    }
+
+    #[test]
+    fn v1_manifest_still_decodes() {
+        // Hand-rolled v1 body: next_file_no | count | (len | name)* — no
+        // flags byte, no retired list.
+        let mut body = Vec::new();
+        body.extend_from_slice(&5u64.to_le_bytes());
+        body.extend_from_slice(&2u32.to_le_bytes());
+        for name in [sst_file_name(1), sst_file_name(2)] {
+            body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            body.extend_from_slice(name.as_bytes());
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MANIFEST_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        let decoded = decode_manifest(&bytes).unwrap();
+        assert_eq!(decoded.next_file_no, 5);
         assert_eq!(
-            decode_manifest(&encode_manifest(&[], 0)).unwrap(),
-            (vec![], 0)
+            decoded.files,
+            vec![
+                ManifestEntry {
+                    name: sst_file_name(1),
+                    sealed: false,
+                },
+                ManifestEntry {
+                    name: sst_file_name(2),
+                    sealed: false,
+                },
+            ]
         );
+        assert!(decoded.retired.is_empty());
+        // An unsupported future version is rejected.
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(decode_manifest(&future).is_err());
+    }
+
+    #[test]
+    fn tombstone_entries_roundtrip_and_are_validated() {
+        // One block: a put, a tombstone, a put.
+        let mut b = Vec::new();
+        b.extend_from_slice(&3u32.to_le_bytes());
+        b.extend_from_slice(&10u64.to_le_bytes());
+        b.extend_from_slice(&2u32.to_le_bytes());
+        b.extend_from_slice(b"aa");
+        b.extend_from_slice(&20u64.to_le_bytes());
+        b.extend_from_slice(&TOMBSTONE_FLAG.to_le_bytes());
+        b.extend_from_slice(&30u64.to_le_bytes());
+        b.extend_from_slice(&2u32.to_le_bytes());
+        b.extend_from_slice(b"cc");
+        let blocks = vec![Bytes::from(b)];
+        let index = vec![(10, 30, 3)];
+        let bytes = encode_sst(&blocks, &index, 3, (10, 30), FilterKind::Bloom, 12.0, None);
+        let decoded = decode_sst(&bytes).unwrap();
+        assert_eq!(decoded.num_entries, 3);
+        assert_eq!(decoded.num_tombstones, 1);
+        assert_eq!(decoded.keys, vec![10, 20, 30]);
+
+        // The same blocks stamped as format v1 are corrupt: v1 has no
+        // tombstone bit.
+        let mut v1 = bytes.clone();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let err = decode_sst(&v1).unwrap_err();
+        assert!(err.detail.contains("tombstone"), "{err}");
+
+        // A tombstone with non-zero length bits is corrupt in any version.
+        let mut bad_block = blocks[0].to_vec();
+        // meta of the tombstone entry sits after count(4) + key(8) + meta(4)
+        // + "aa"(2) + key(8) = offset 26.
+        bad_block[26..30].copy_from_slice(&(TOMBSTONE_FLAG | 1).to_le_bytes());
+        let bad = encode_sst(
+            &[Bytes::from(bad_block)],
+            &index,
+            3,
+            (10, 30),
+            FilterKind::Bloom,
+            12.0,
+            None,
+        );
+        let err = decode_sst(&bad).unwrap_err();
+        assert!(err.detail.contains("length bits"), "{err}");
+    }
+
+    #[test]
+    fn v1_sst_without_tombstones_still_decodes() {
+        let mut bytes = sample_sst_bytes();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let decoded = decode_sst(&bytes).unwrap();
+        assert_eq!(decoded.num_entries, 4);
+        assert_eq!(decoded.num_tombstones, 0);
+        assert_eq!(decoded.keys, vec![10, 20, 30, 40]);
     }
 
     #[test]

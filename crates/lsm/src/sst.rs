@@ -7,14 +7,22 @@
 //! ("placing it as regular full filter block in each compaction-disabled SST
 //! file of a block-based table format"). Blocks live in memory; reads charge
 //! the simulated I/O model.
+//!
+//! Entries are typed [`Value`]s: a block record is `key (u64) | meta (u32) |
+//! payload`, where bit 31 of `meta` marks a tombstone (no payload follows)
+//! and the low 31 bits are the payload length. Tombstone keys are inserted
+//! into the filter block like any other key, so a lookup for a deleted key
+//! routes to the table holding the tombstone instead of falling through to an
+//! older version.
 
 use bloomrf::traits::PointRangeFilter;
 use bloomrf_filters::FilterKind;
 use bytes::{BufMut, Bytes, BytesMut};
 use std::time::Instant;
 
-use crate::persist::{self, Corruption};
+use crate::persist::{self, Corruption, TOMBSTONE_FLAG};
 use crate::stats::{IoModel, ReadStats};
+use crate::value::Value;
 
 /// One immutable sorted run with a filter block.
 pub struct SsTable {
@@ -22,11 +30,13 @@ pub struct SsTable {
     blocks: Vec<Bytes>,
     /// `(first_key, last_key, entry_count)` per block.
     index: Vec<(u64, u64, u32)>,
-    /// The filter covering every key of the table.
+    /// The filter covering every key of the table (tombstones included).
     filter: Box<dyn PointRangeFilter>,
     /// Smallest and largest key of the table.
     key_range: (u64, u64),
     num_entries: usize,
+    /// How many of the entries are tombstones.
+    num_tombstones: usize,
     /// Filter family the table was built with (persisted so recovery can
     /// rebuild the filter block from data blocks if its bytes rot).
     filter_kind: FilterKind,
@@ -37,12 +47,12 @@ pub struct SsTable {
 }
 
 impl SsTable {
-    /// Build an SST from sorted, deduplicated entries.
+    /// Build an SST from sorted, deduplicated entries (tombstones included).
     ///
     /// `entries_per_block` mimics RocksDB's block size knob (a 4-KiB block with
     /// 512-byte values holds ~8 entries).
     pub fn build(
-        entries: &[(u64, Vec<u8>)],
+        entries: &[(u64, Value)],
         entries_per_block: usize,
         filter_kind: FilterKind,
         bits_per_key: f64,
@@ -59,13 +69,26 @@ impl SsTable {
 
         let mut blocks = Vec::new();
         let mut index = Vec::new();
+        let mut num_tombstones = 0usize;
         for chunk in entries.chunks(epb) {
             let mut block = BytesMut::new();
             block.put_u32_le(chunk.len() as u32);
             for (key, value) in chunk {
                 block.put_u64_le(*key);
-                block.put_u32_le(value.len() as u32);
-                block.put_slice(value);
+                match value {
+                    Value::Put(bytes) => {
+                        assert!(
+                            (bytes.len() as u64) < TOMBSTONE_FLAG as u64,
+                            "value too large for the 31-bit length field"
+                        );
+                        block.put_u32_le(bytes.len() as u32);
+                        block.put_slice(bytes);
+                    }
+                    Value::Tombstone => {
+                        num_tombstones += 1;
+                        block.put_u32_le(TOMBSTONE_FLAG);
+                    }
+                }
             }
             index.push((chunk[0].0, chunk[chunk.len() - 1].0, chunk.len() as u32));
             blocks.push(block.freeze());
@@ -82,13 +105,14 @@ impl SsTable {
             filter,
             key_range: (keys[0], *keys.last().unwrap()),
             num_entries: entries.len(),
+            num_tombstones,
             filter_kind,
             bits_per_key,
             filter_build_time,
         }
     }
 
-    /// Serialize the table into the durable `BSST` v1 file format (see
+    /// Serialize the table into the durable `BSST` v2 file format (see
     /// [`crate::persist`]): data blocks, fence-pointer index and — for filter
     /// families with a wire format — the filter block itself, each section
     /// protected by a CRC-32 checksum.
@@ -143,15 +167,21 @@ impl SsTable {
             filter,
             key_range: decoded.key_range,
             num_entries: decoded.num_entries,
+            num_tombstones: decoded.num_tombstones,
             filter_kind: decoded.filter_kind,
             bits_per_key: decoded.bits_per_key,
             filter_build_time: start.elapsed(),
         })
     }
 
-    /// Number of entries.
+    /// Number of entries (tombstones included).
     pub fn num_entries(&self) -> usize {
         self.num_entries
+    }
+
+    /// Number of tombstone entries.
+    pub fn num_tombstones(&self) -> usize {
+        self.num_tombstones
     }
 
     /// Number of data blocks.
@@ -179,9 +209,10 @@ impl SsTable {
         self.filter.as_ref()
     }
 
-    /// Every key in the table, ascending. Walks the in-memory block bytes
-    /// without materializing values; the filter tree uses this to (re)build
-    /// its per-SST leaf and ancestor filters from the authoritative key set.
+    /// Every key in the table, ascending (tombstones included). Walks the
+    /// in-memory block bytes without materializing values; the filter tree
+    /// uses this to (re)build its per-SST leaf and ancestor filters from the
+    /// authoritative key set.
     pub(crate) fn keys(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.num_entries);
         for data in &self.blocks {
@@ -192,15 +223,25 @@ impl SsTable {
                     data[cursor..cursor + 8].try_into().unwrap(),
                 ));
                 cursor += 8;
-                let len = u32::from_le_bytes(data[cursor..cursor + 4].try_into().unwrap()) as usize;
-                cursor += 4 + len;
+                let meta = u32::from_le_bytes(data[cursor..cursor + 4].try_into().unwrap());
+                cursor += 4 + (meta & !TOMBSTONE_FLAG) as usize;
             }
         }
         out
     }
 
+    /// Every entry of the table in key order (tombstones included) — the
+    /// compaction merge input.
+    pub(crate) fn entries(&self) -> Vec<(u64, Value)> {
+        let mut out = Vec::with_capacity(self.num_entries);
+        for block_idx in 0..self.blocks.len() {
+            out.extend(self.decode_block(block_idx));
+        }
+        out
+    }
+
     /// Decode a block into its entries (counts as residual CPU, not I/O).
-    fn decode_block(&self, block_idx: usize) -> Vec<(u64, Vec<u8>)> {
+    fn decode_block(&self, block_idx: usize) -> Vec<(u64, Value)> {
         let data = &self.blocks[block_idx];
         let mut out = Vec::new();
         let mut cursor = 0usize;
@@ -209,16 +250,23 @@ impl SsTable {
         for _ in 0..count {
             let key = u64::from_le_bytes(data[cursor..cursor + 8].try_into().unwrap());
             cursor += 8;
-            let len = u32::from_le_bytes(data[cursor..cursor + 4].try_into().unwrap()) as usize;
+            let meta = u32::from_le_bytes(data[cursor..cursor + 4].try_into().unwrap());
             cursor += 4;
-            out.push((key, data[cursor..cursor + len].to_vec()));
-            cursor += len;
+            if meta & TOMBSTONE_FLAG != 0 {
+                out.push((key, Value::Tombstone));
+            } else {
+                let len = meta as usize;
+                out.push((key, Value::Put(data[cursor..cursor + len].to_vec())));
+                cursor += len;
+            }
         }
         out
     }
 
-    /// Point lookup through the filter, index and data blocks.
-    pub fn get(&self, key: u64, io: &IoModel, stats: &ReadStats) -> Option<Vec<u8>> {
+    /// Point lookup through the filter, index and data blocks. A hit on a
+    /// tombstone returns `Some(Value::Tombstone)` — the caller must treat the
+    /// key as deleted rather than consult older tables.
+    pub fn get(&self, key: u64, io: &IoModel, stats: &ReadStats) -> Option<Value> {
         if key < self.key_range.0 || key > self.key_range.1 {
             return None;
         }
@@ -232,7 +280,7 @@ impl SsTable {
     }
 
     /// Index walk + block read for a key the filter answered positively.
-    fn lookup_after_filter(&self, key: u64, io: &IoModel, stats: &ReadStats) -> Option<Vec<u8>> {
+    fn lookup_after_filter(&self, key: u64, io: &IoModel, stats: &ReadStats) -> Option<Value> {
         // Locate the candidate block via the index (fence pointers).
         let block_idx = self.index.partition_point(|&(_, last, _)| last < key);
         if block_idx >= self.index.len() || self.index[block_idx].0 > key {
@@ -248,6 +296,8 @@ impl SsTable {
             .map(|i| entries[i].1.clone());
         stats.record_cpu(cpu_start.elapsed().as_nanos() as u64);
         if result.is_none() {
+            // A found tombstone is a *true* positive — the key is present,
+            // its version just happens to be a delete marker.
             stats.record_false_positive();
         }
         result
@@ -257,8 +307,8 @@ impl SsTable {
     /// [`PointRangeFilter::may_contain_batch`] (bloomRF's engine groups the
     /// probes per dyadic level), then reads blocks only for the positives.
     /// Element `i` equals `self.get(keys[i], ..)`.
-    pub fn get_many(&self, keys: &[u64], io: &IoModel, stats: &ReadStats) -> Vec<Option<Vec<u8>>> {
-        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+    pub fn get_many(&self, keys: &[u64], io: &IoModel, stats: &ReadStats) -> Vec<Option<Value>> {
+        let mut out: Vec<Option<Value>> = vec![None; keys.len()];
         let in_range: Vec<usize> = (0..keys.len())
             .filter(|&i| keys[i] >= self.key_range.0 && keys[i] <= self.key_range.1)
             .collect();
@@ -281,9 +331,12 @@ impl SsTable {
     }
 
     /// Batched range-emptiness check: element `i` is `true` iff the table
-    /// holds at least one key in `ranges[i]`. The filter is consulted once
-    /// for the whole batch; positives are confirmed against the data blocks
-    /// (equivalent to `!self.scan(lo, hi, 1, ..).is_empty()`).
+    /// holds at least one entry in `ranges[i]` — tombstones included, since a
+    /// tombstone both keeps the filter positive and shadows older tables (the
+    /// check is a *possibly non-empty* filter verdict, never a false
+    /// negative). The filter is consulted once for the whole batch; positives
+    /// are confirmed against the data blocks (equivalent to
+    /// `!self.scan(lo, hi, 1, ..).is_empty()`).
     pub fn range_non_empty_many(
         &self,
         ranges: &[(u64, u64)],
@@ -340,7 +393,8 @@ impl SsTable {
 
     /// Range scan: return up to `limit` entries with keys in `[lo, hi]`,
     /// consulting the filter first (the RocksDB `SeekForPrev`/`Seek` path with
-    /// range-filter support).
+    /// range-filter support). Tombstones are returned like any entry — the
+    /// store-level merge needs them to shadow older tables.
     pub fn scan(
         &self,
         lo: u64,
@@ -348,7 +402,7 @@ impl SsTable {
         limit: usize,
         io: &IoModel,
         stats: &ReadStats,
-    ) -> Vec<(u64, Vec<u8>)> {
+    ) -> Vec<(u64, Value)> {
         if hi < self.key_range.0 || lo > self.key_range.1 || lo > hi {
             return Vec::new();
         }
@@ -394,9 +448,16 @@ impl SsTable {
 mod tests {
     use super::*;
 
-    fn entries(n: u64, value_size: usize) -> Vec<(u64, Vec<u8>)> {
+    fn put_entries(entries: &[(u64, Vec<u8>)]) -> Vec<(u64, Value)> {
+        entries
+            .iter()
+            .map(|(k, v)| (*k, Value::Put(v.clone())))
+            .collect()
+    }
+
+    fn entries(n: u64, value_size: usize) -> Vec<(u64, Value)> {
         (0..n)
-            .map(|i| (i * 10, vec![(i % 251) as u8; value_size]))
+            .map(|i| (i * 10, Value::Put(vec![(i % 251) as u8; value_size])))
             .collect()
     }
 
@@ -418,7 +479,12 @@ mod tests {
         assert_eq!(sst.num_blocks(), 125);
         for i in (0..1000u64).step_by(17) {
             let v = sst.get(i * 10, &io, &stats);
-            assert_eq!(v, Some(vec![(i % 251) as u8; 32]), "key {}", i * 10);
+            assert_eq!(
+                v,
+                Some(Value::Put(vec![(i % 251) as u8; 32])),
+                "key {}",
+                i * 10
+            );
         }
         // Keys between stored keys are absent.
         assert_eq!(sst.get(5, &io, &stats), None);
@@ -426,6 +492,37 @@ mod tests {
         let snap = stats.snapshot();
         assert!(snap.filter_probes > 0);
         assert!(snap.blocks_read > 0);
+    }
+
+    #[test]
+    fn tombstones_roundtrip_through_build_and_bytes() {
+        let entries = vec![
+            (10u64, Value::Put(b"alive".to_vec())),
+            (20, Value::Tombstone),
+            (30, Value::Put(b"also alive".to_vec())),
+            (40, Value::Tombstone),
+        ];
+        let sst = SsTable::build(&entries, 2, FilterKind::BloomRf { max_range: 1e6 }, 16.0);
+        assert_eq!(sst.num_entries(), 4);
+        assert_eq!(sst.num_tombstones(), 2);
+        assert_eq!(sst.keys(), vec![10, 20, 30, 40]);
+        assert_eq!(sst.entries(), entries);
+        let io = IoModel::default();
+        let stats = ReadStats::new();
+        // A tombstone is found (filter + block), not treated as absent...
+        assert_eq!(sst.get(20, &io, &stats), Some(Value::Tombstone));
+        // ...and is not a false positive.
+        assert_eq!(stats.snapshot().false_positives, 0);
+        // Tombstones keep ranges "possibly non-empty" (no false negatives).
+        assert_eq!(
+            sst.range_non_empty_many(&[(19, 21)], &io, &stats),
+            vec![true]
+        );
+        // Serialization roundtrips tombstones bit-exactly.
+        let restored = SsTable::from_bytes(&sst.to_bytes(), &stats).unwrap();
+        assert_eq!(restored.num_tombstones(), 2);
+        assert_eq!(restored.entries(), entries);
+        assert_eq!(restored.get(40, &io, &stats), Some(Value::Tombstone));
     }
 
     #[test]
@@ -498,7 +595,7 @@ mod tests {
             let stats = ReadStats::new();
             assert_eq!(
                 sst.get(500, &io, &stats),
-                Some(vec![50_u8; 8]),
+                Some(Value::Put(vec![50_u8; 8])),
                 "{}",
                 kind.label()
             );
@@ -554,5 +651,15 @@ mod tests {
                 "range [{lo},{hi}]"
             );
         }
+    }
+
+    #[test]
+    fn put_entries_helper_preserves_layout() {
+        // Guard the helper other test files mirror: plain puts must produce
+        // the same table as the pre-tombstone encoding did.
+        let raw: Vec<(u64, Vec<u8>)> = (0..50u64).map(|i| (i * 3, vec![i as u8; 4])).collect();
+        let sst = SsTable::build(&put_entries(&raw), 8, FilterKind::Bloom, 12.0);
+        assert_eq!(sst.num_tombstones(), 0);
+        assert_eq!(sst.num_entries(), 50);
     }
 }

@@ -77,6 +77,10 @@ pub struct ReadStats {
     /// Filter-tree rebuild events: recovery fallbacks (missing, corrupt or
     /// stale `TREE` file) and subtree rebuilds after a leaf retirement.
     pub tree_rebuilds: AtomicU64,
+    /// Gauge (not a counter): SSTs currently serving reads from memory whose
+    /// persistence failed — they would be missing after a reopen until a
+    /// later flush or compaction re-attempts and succeeds.
+    pub unpersisted_ssts: AtomicU64,
 }
 
 impl ReadStats {
@@ -105,6 +109,7 @@ impl ReadStats {
             &self.ssts_pruned,
             &self.ssts_probed,
             &self.tree_rebuilds,
+            &self.unpersisted_ssts,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -186,6 +191,13 @@ impl ReadStats {
         self.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Set the unpersisted-SST gauge to the current count (store, not add:
+    /// the flush path recomputes the number of memory-only tables after every
+    /// persistence attempt).
+    pub fn record_unpersisted_ssts(&self, n: u64) {
+        self.unpersisted_ssts.store(n, Ordering::Relaxed);
+    }
+
     /// Snapshot into a plain struct.
     pub fn snapshot(&self) -> ReadStatsSnapshot {
         ReadStatsSnapshot {
@@ -206,6 +218,7 @@ impl ReadStats {
             ssts_pruned: self.ssts_pruned.load(Ordering::Relaxed),
             ssts_probed: self.ssts_probed.load(Ordering::Relaxed),
             tree_rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
+            unpersisted_ssts: self.unpersisted_ssts.load(Ordering::Relaxed),
         }
     }
 }
@@ -247,6 +260,8 @@ pub struct ReadStatsSnapshot {
     pub ssts_probed: u64,
     /// Filter-tree rebuild events (recovery fallback / subtree rebuild).
     pub tree_rebuilds: u64,
+    /// SSTs currently serving reads from memory only (persistence failed).
+    pub unpersisted_ssts: u64,
 }
 
 impl ReadStatsSnapshot {
@@ -268,14 +283,19 @@ impl ReadStatsSnapshot {
     }
 
     /// Pruning-adjusted false-positive rate over every `(query, SST)` pair
-    /// the query *logically* asked about: executed filter probes plus the
-    /// pairs the filter tree pruned. A pruned pair is an implicit true
-    /// negative (the tree only prunes when no key can match), so it belongs
-    /// in the denominator; without it, FPR-by-predicate reporting degrades
-    /// as pruning improves. Equals [`ReadStatsSnapshot::observed_fpr`] when
-    /// nothing was pruned.
+    /// the query *logically* asked about: the pairs selected for probing
+    /// (`ssts_probed`) plus the pairs the filter tree pruned (`ssts_pruned`)
+    /// — the same per-SST denominator as
+    /// [`ReadStatsSnapshot::pruning_ratio`]. A pruned pair is an implicit
+    /// true negative (the tree only prunes when no key can match), so it
+    /// belongs in the denominator; without it, FPR-by-predicate reporting
+    /// degrades as pruning improves. `filter_probes` deliberately does *not*
+    /// appear here: it counts executed probe calls rather than `(query, SST)`
+    /// pairs, which diverges from the per-SST accounting (early-out on a hit,
+    /// key-range prechecks) and made the rate inconsistent with
+    /// [`ReadStatsSnapshot::pruning_ratio`].
     pub fn effective_fpr(&self) -> f64 {
-        let denominator = self.filter_probes + self.ssts_pruned;
+        let denominator = self.ssts_probed + self.ssts_pruned;
         if denominator == 0 {
             0.0
         } else {
@@ -370,18 +390,50 @@ mod tests {
     #[test]
     fn effective_fpr_credits_pruned_ssts() {
         let stats = ReadStats::new();
-        // 10 executed probes, 1 end-to-end false positive, 90 pruned pairs:
-        // per executed probe the rate is 0.1, but over everything the query
-        // logically asked about it is 1/100.
+        // 10 probed (query, SST) pairs, 1 end-to-end false positive, 90
+        // pruned pairs: per executed probe the rate is 0.1, but over
+        // everything the query logically asked about it is 1/100.
         for _ in 0..10 {
             stats.record_filter_probe(true, 0);
         }
+        stats.record_ssts_probed(10);
         stats.record_false_positive();
         stats.record_ssts_pruned(90);
         let snap = stats.snapshot();
         assert!((snap.observed_fpr() - 0.1).abs() < 1e-12);
         assert!((snap.effective_fpr() - 0.01).abs() < 1e-12);
         assert_eq!(ReadStatsSnapshot::default().effective_fpr(), 0.0);
+    }
+
+    #[test]
+    fn effective_fpr_and_pruning_ratio_share_a_denominator() {
+        // Regression: effective_fpr used to divide by
+        // filter_probes + ssts_pruned, so extra probe calls that are not
+        // per-SST pairs (early-outs, batch confirmations) skewed it against
+        // pruning_ratio. Both must now use ssts_probed + ssts_pruned.
+        let stats = ReadStats::new();
+        for _ in 0..25 {
+            stats.record_filter_probe(true, 0); // more probe calls than pairs
+        }
+        stats.record_ssts_probed(10);
+        stats.record_ssts_pruned(40);
+        stats.record_false_positive();
+        let snap = stats.snapshot();
+        assert!((snap.effective_fpr() - 1.0 / 50.0).abs() < 1e-12);
+        assert!((snap.pruning_ratio() - 40.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpersisted_gauge_stores_rather_than_adds() {
+        let stats = ReadStats::new();
+        stats.record_unpersisted_ssts(3);
+        stats.record_unpersisted_ssts(1);
+        assert_eq!(stats.snapshot().unpersisted_ssts, 1);
+        stats.record_unpersisted_ssts(0);
+        assert_eq!(stats.snapshot().unpersisted_ssts, 0);
+        stats.record_unpersisted_ssts(2);
+        stats.reset();
+        assert_eq!(stats.snapshot(), ReadStatsSnapshot::default());
     }
 
     #[test]

@@ -38,7 +38,10 @@
 //! into the ancestors on the root path ([`FilterTree::push_leaf`]); because
 //! Bloom bits cannot be deleted, retiring or quarantining an SST rebuilds
 //! the ancestor path from the surviving leaves' keys
-//! ([`FilterTree::retire_leaf`]). The tree persists as the checksummed
+//! ([`FilterTree::retire_leaf`]), and compaction — which replaces a
+//! contiguous window of tables with one merged table, shifting every later
+//! slot — rebuilds the inner levels around the spliced leaf row
+//! ([`FilterTree::retire_and_splice`]). The tree persists as the checksummed
 //! `TREE` file next to the MANIFEST ([`FilterTree::to_bytes`]) and recovery
 //! falls back to [`FilterTree::build_from_ssts`] when that file is missing,
 //! corrupt or stale.
@@ -295,6 +298,70 @@ impl FilterTree {
                 }
             }
             self.levels[height][idx] = node;
+        }
+        stats.record_tree_rebuild();
+    }
+
+    /// Compaction maintenance: replace the contiguous leaf window `window`
+    /// with the single leaf for `replacement` (or nothing, when the merge
+    /// produced an empty table), keeping the tree aligned with an SST set
+    /// that was spliced the same way. `ssts` is the **post-splice** table set
+    /// in age order. Because Bloom bits cannot be deleted, every inner level
+    /// is rebuilt from the surviving leaves' keys — positions shift across a
+    /// splice, so ancestor spans change wholesale and the per-path rebuild of
+    /// [`FilterTree::retire_leaf`] does not apply. Surviving leaf nodes are
+    /// reused bit-for-bit (no re-hash); counted as one rebuild event in
+    /// `tree_rebuilds`.
+    pub fn retire_and_splice(
+        &mut self,
+        window: std::ops::Range<usize>,
+        replacement: Option<&SsTable>,
+        ssts: &[SsTable],
+        stats: &ReadStats,
+    ) {
+        assert!(
+            window.start <= window.end && window.end <= self.num_leaves(),
+            "retire_and_splice window out of bounds"
+        );
+        let mut leaves = if self.levels.is_empty() {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.levels[0])
+        };
+        let tail = leaves.split_off(window.end);
+        leaves.truncate(window.start);
+        if let Some(sst) = replacement {
+            leaves.push(self.make_leaf(sst, &sst.keys()));
+        }
+        leaves.extend(tail);
+        assert_eq!(
+            leaves.len(),
+            ssts.len(),
+            "filter tree out of sync with the spliced SST set"
+        );
+        let n = leaves.len();
+        self.live_leaves = leaves.iter().filter(|l| l.live).count();
+        if n == 0 {
+            self.levels = Vec::new();
+        } else {
+            let mut levels = vec![leaves];
+            for height in 1..required_levels(n, self.fanout) {
+                let span = self.fanout.saturating_pow(height as u32);
+                let mut level = Vec::with_capacity(n.div_ceil(span));
+                for idx in 0..n.div_ceil(span) {
+                    let mut node = self.empty_node(height);
+                    let first = idx * span;
+                    let last = ((idx + 1) * span).min(n);
+                    for (leaf, sst) in levels[0][first..last].iter().zip(&ssts[first..last]) {
+                        if leaf.live {
+                            node.absorb(&sst.keys());
+                        }
+                    }
+                    level.push(node);
+                }
+                levels.push(level);
+            }
+            self.levels = levels;
         }
         stats.record_tree_rebuild();
     }
@@ -611,9 +678,9 @@ mod tests {
     use bloomrf_filters::FilterKind;
 
     fn sst_of(keys: &[u64], kind: FilterKind) -> SsTable {
-        let entries: Vec<(u64, Vec<u8>)> = keys
+        let entries: Vec<(u64, crate::value::Value)> = keys
             .iter()
-            .map(|&k| (k, k.to_le_bytes().to_vec()))
+            .map(|&k| (k, crate::value::Value::Put(k.to_le_bytes().to_vec())))
             .collect();
         SsTable::build(&entries, 4, kind, 14.0)
     }
@@ -733,6 +800,77 @@ mod tests {
         let c = tree.candidates_point(u64::MAX / 2, &stats);
         assert!(c.is_empty());
         assert_eq!(stats.snapshot().ssts_pruned, 11);
+    }
+
+    #[test]
+    fn retire_and_splice_replaces_a_window_with_one_leaf() {
+        let (mut ssts, mut tree) = build_fixture(FilterKind::BloomRfBasic);
+        let stats = ReadStats::new();
+        // Merge SSTs 3..7 into one table holding all their keys.
+        let merged_keys: Vec<u64> = (3..7u64)
+            .flat_map(|i| {
+                let base = i * 1000;
+                [base, base + 10, base + 20, base + 30]
+            })
+            .collect();
+        let merged = sst_of(&merged_keys, FilterKind::BloomRfBasic);
+        let tail: Vec<SsTable> = ssts.split_off(7);
+        ssts.truncate(3);
+        ssts.push(merged);
+        ssts.extend(tail);
+        assert_eq!(ssts.len(), 9);
+        tree.retire_and_splice(3..7, Some(&ssts[3]), &ssts, &stats);
+        assert_eq!(tree.num_leaves(), 9);
+        assert_eq!(tree.live_leaves(), 9);
+        assert_eq!(tree.depth(), required_levels(9, 3));
+        assert_eq!(stats.snapshot().tree_rebuilds, 1);
+        // Every key still routes to the table now holding it.
+        for (i, sst) in ssts.iter().enumerate() {
+            for &k in &sst.keys() {
+                assert!(
+                    tree.candidates_point(k, &stats).contains(&i),
+                    "key {k} lost after splice"
+                );
+            }
+        }
+        // The spliced tree stays compatible with validation, persistence and
+        // further growth.
+        assert!(tree.validate_against(&ssts, 3, 4, 14.0));
+        let decoded = FilterTree::from_bytes(&tree.to_bytes()).expect("roundtrip");
+        assert!(decoded.validate_against(&ssts, 3, 4, 14.0));
+        ssts.push(sst_of(&[90_000, 90_001], FilterKind::BloomRfBasic));
+        tree.push_leaf(&ssts);
+        assert_eq!(tree.num_leaves(), 10);
+        assert!(tree.candidates_point(90_000, &stats).contains(&9));
+    }
+
+    #[test]
+    fn retire_and_splice_without_replacement_shrinks_the_tree() {
+        let (mut ssts, mut tree) = build_fixture(FilterKind::BloomRfBasic);
+        let stats = ReadStats::new();
+        // A merge that produced an empty table: the window just disappears.
+        let tail = ssts.split_off(4);
+        ssts.truncate(2);
+        ssts.extend(tail);
+        tree.retire_and_splice(2..4, None, &ssts, &stats);
+        assert_eq!(tree.num_leaves(), 10);
+        assert_eq!(tree.live_leaves(), 10);
+        assert!(tree.validate_against(&ssts, 3, 4, 14.0));
+        for (i, sst) in ssts.iter().enumerate() {
+            for &k in &sst.keys() {
+                assert!(tree.candidates_point(k, &stats).contains(&i));
+            }
+        }
+        // Splicing everything away empties the tree.
+        let none: Vec<SsTable> = Vec::new();
+        tree.retire_and_splice(0..10, None, &none, &stats);
+        assert_eq!(tree.num_leaves(), 0);
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.candidates_point(1000, &stats).is_empty());
+        // An emptied tree accepts fresh leaves again.
+        let fresh = vec![sst_of(&[5, 6], FilterKind::BloomRfBasic)];
+        tree.push_leaf(&fresh);
+        assert!(tree.candidates_point(5, &stats).contains(&0));
     }
 
     #[test]

@@ -72,6 +72,12 @@ impl<K: RangeKey> TypedDb<K> {
         self.inner.put(key.to_domain(), value);
     }
 
+    /// Delete a key (see [`Db::delete`]): buffers a tombstone that shadows
+    /// every older version until compaction drops it.
+    pub fn delete(&self, key: &K) {
+        self.inner.delete(key.to_domain());
+    }
+
     /// Force-flush the memtable into a new level-0 SST.
     pub fn flush(&self) {
         self.inner.flush();

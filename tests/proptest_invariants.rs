@@ -284,11 +284,13 @@ proptest! {
         flip_pos in any::<u64>(),
         flip_mask in 1u8..=255,
     ) {
-        use bloomrf_lsm::{IoModel, ReadStats, SsTable};
+        use bloomrf_lsm::{IoModel, ReadStats, SsTable, Value};
         keys.sort_unstable();
         keys.dedup();
-        let entries: Vec<(u64, Vec<u8>)> =
-            keys.iter().map(|&k| (k, vec![(k % 251) as u8; 5])).collect();
+        let entries: Vec<(u64, Value)> = keys
+            .iter()
+            .map(|&k| (k, Value::Put(vec![(k % 251) as u8; 5])))
+            .collect();
         let sst = SsTable::build(
             &entries,
             8,
