@@ -51,6 +51,8 @@ fn main() {
                     let mut range_ops = 0usize;
                     let mut i = t;
                     let start = Instant::now();
+                    // ordering: stop flag only ends the timed loop; a few
+                    // extra iterations after the store are harmless.
                     while !stop.load(Ordering::Relaxed) {
                         let probe = keys[i % keys.len()];
                         std::hint::black_box(filter.contains_point(probe));
@@ -72,6 +74,7 @@ fn main() {
                     let mut ops = 0usize;
                     let mut i = t;
                     let start = Instant::now();
+                    // ordering: same run-a-little-longer tolerance as above.
                     while !stop.load(Ordering::Relaxed) {
                         filter.insert(keys[(n_keys / 2 + i) % keys.len()]);
                         ops += 1;
@@ -82,6 +85,7 @@ fn main() {
             }
 
             std::thread::sleep(run_for);
+            // ordering: the join below is the real synchronization point.
             stop.store(true, Ordering::Relaxed);
 
             let mut point_tp = 0.0;

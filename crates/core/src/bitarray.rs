@@ -22,7 +22,7 @@
 //! supported word size divides 64 and segments are 64-bit aligned, a logical
 //! word never straddles two physical `u64` words.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Concurrent bit storage that bloomRF's probe engine runs against.
 ///
@@ -346,6 +346,8 @@ impl AtomicBits {
             "bit index {idx} out of range {}",
             self.bits
         );
+        // ordering: idempotent bit-set; cross-thread visibility is provided by
+        // the caller's synchronization (join/lock), per the type's contract.
         self.words[idx / 64].fetch_or(1u64 << (idx % 64), Ordering::Relaxed);
     }
 
@@ -357,6 +359,8 @@ impl AtomicBits {
             "bit index {idx} out of range {}",
             self.bits
         );
+        // ordering: a stale read only yields a false negative for a key
+        // inserted concurrently with this query (documented contract).
         (self.words[idx / 64].load(Ordering::Relaxed) >> (idx % 64)) & 1 == 1
     }
 
@@ -366,6 +370,8 @@ impl AtomicBits {
     pub fn load_word(&self, start: usize, width: u32) -> u64 {
         debug_assert!((1..=64).contains(&width) && 64 % width == 0);
         debug_assert_eq!(start % width as usize, 0, "unaligned word load");
+        // ordering: stale probe reads are tolerated (false negative for
+        // concurrent inserts only); see the type-level contract.
         let word = self.words[start / 64].load(Ordering::Relaxed);
         let shift = (start % 64) as u32;
         if width == 64 {
@@ -381,6 +387,7 @@ impl AtomicBits {
         debug_assert!((1..=64).contains(&width) && 64 % width == 0);
         debug_assert_eq!(start % width as usize, 0, "unaligned word store");
         let shift = (start % 64) as u32;
+        // ordering: idempotent bit-OR; visibility via caller synchronization.
         self.words[start / 64].fetch_or(value << shift, Ordering::Relaxed);
     }
 
@@ -388,6 +395,8 @@ impl AtomicBits {
     pub fn count_ones(&self) -> usize {
         self.words
             .iter()
+            // ordering: diagnostic census; exactness under concurrent writes
+            // is not promised.
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
@@ -399,18 +408,23 @@ impl AtomicBits {
         }
         debug_assert!(hi < self.bits);
         let (lw, hw) = (lo / 64, hi / 64);
+        // ordering: range probes tolerate stale words — a miss on a
+        // concurrently-set bit is the documented false-negative case.
         if lw == hw {
             let mask = mask_between(lo % 64, hi % 64);
             return self.words[lw].load(Ordering::Relaxed) & mask != 0;
         }
+        // ordering: same stale-read tolerance as above.
         if self.words[lw].load(Ordering::Relaxed) & mask_between(lo % 64, 63) != 0 {
             return true;
         }
         for w in lw + 1..hw {
+            // ordering: same stale-read tolerance as above.
             if self.words[w].load(Ordering::Relaxed) != 0 {
                 return true;
             }
         }
+        // ordering: same stale-read tolerance as above.
         self.words[hw].load(Ordering::Relaxed) & mask_between(0, hi % 64) != 0
     }
 
@@ -420,6 +434,8 @@ impl AtomicBits {
         let words: Vec<u64> = self
             .words
             .iter()
+            // ordering: callers snapshot quiescent or externally-synchronized
+            // arrays; a torn-across-words view is acceptable otherwise.
             .map(|w| w.load(Ordering::Relaxed))
             .collect();
         BitVec {
@@ -550,11 +566,18 @@ impl ShardedAtomicBits {
     #[inline]
     fn fetch_or_word(&self, word_idx: usize, mask: u64) {
         let word = self.locate(word_idx);
+        // ordering: the CAS loop only needs atomicity of each word update,
+        // not inter-word ordering — the loop re-reads on failure, the OR is
+        // idempotent, and publication to readers goes through the caller's
+        // synchronization (model-checked in tests/loom_model.rs: no schedule
+        // loses an update).
         let mut current = word.load(Ordering::Relaxed);
         while current & mask != mask {
             match word.compare_exchange_weak(
                 current,
                 current | mask,
+                // ordering: relaxed success/failure, per the CAS-loop
+                // argument above.
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
@@ -599,6 +622,8 @@ impl BitStore for ShardedAtomicBits {
             "bit index {idx} out of range {}",
             self.bits
         );
+        // ordering: stale reads only produce the documented false negative
+        // for concurrently-inserted keys.
         (self.locate(idx / 64).load(Ordering::Relaxed) >> (idx % 64)) & 1 == 1
     }
 
@@ -606,6 +631,7 @@ impl BitStore for ShardedAtomicBits {
     fn load_word(&self, start: usize, width: u32) -> u64 {
         debug_assert!((1..=64).contains(&width) && 64 % width == 0);
         debug_assert_eq!(start % width as usize, 0, "unaligned word load");
+        // ordering: stale probe reads tolerated (see type contract).
         let word = self.locate(start / 64).load(Ordering::Relaxed);
         let shift = (start % 64) as u32;
         if width == 64 {
@@ -629,18 +655,23 @@ impl BitStore for ShardedAtomicBits {
         }
         debug_assert!(hi < self.bits);
         let (lw, hw) = (lo / 64, hi / 64);
+        // ordering: range probes tolerate stale words — a miss on a
+        // concurrently-set bit is the documented false-negative case.
         if lw == hw {
             let mask = mask_between(lo % 64, hi % 64);
             return self.locate(lw).load(Ordering::Relaxed) & mask != 0;
         }
+        // ordering: same stale-read tolerance as above.
         if self.locate(lw).load(Ordering::Relaxed) & mask_between(lo % 64, 63) != 0 {
             return true;
         }
         for w in lw + 1..hw {
+            // ordering: same stale-read tolerance as above.
             if self.locate(w).load(Ordering::Relaxed) != 0 {
                 return true;
             }
         }
+        // ordering: same stale-read tolerance as above.
         self.locate(hw).load(Ordering::Relaxed) & mask_between(0, hi % 64) != 0
     }
 
@@ -648,6 +679,8 @@ impl BitStore for ShardedAtomicBits {
         self.shards
             .iter()
             .flat_map(|s| s.iter())
+            // ordering: diagnostic census; exactness under concurrent writes
+            // is not promised.
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
@@ -661,6 +694,8 @@ impl BitStore for ShardedAtomicBits {
             .shards
             .iter()
             .flat_map(|s| s.iter())
+            // ordering: callers snapshot quiescent or externally-synchronized
+            // arrays; a torn-across-words view is acceptable otherwise.
             .map(|w| w.load(Ordering::Relaxed))
             .collect();
         BitVec {

@@ -34,7 +34,7 @@
 //! answers are bit-identical by construction (and proven so by the
 //! differential property tests).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::bitarray::{mask_between, AtomicBits, BitStore, BitVec, ShardedAtomicBits};
 use crate::config::{BloomRfConfig, RangePolicy};
@@ -284,6 +284,8 @@ impl<S: BitStore> BloomRf<S> {
         }
         let filter = Self::with_store(config, make_store)?;
         filter.restore_arrays(&decoded.arrays)?;
+        // ordering: single-threaded construction; the filter is published to
+        // other threads by whatever hands out the reference.
         filter.key_count.store(decoded.key_count, Ordering::Relaxed);
         Ok(filter)
     }
@@ -295,6 +297,7 @@ impl<S: BitStore> BloomRf<S> {
 
     /// Number of keys inserted so far.
     pub fn key_count(&self) -> u64 {
+        // ordering: statistics gauge; may lag concurrent inserts.
         self.key_count.load(Ordering::Relaxed)
     }
 
@@ -334,6 +337,8 @@ impl<S: BitStore> BloomRf<S> {
                 seg.set(h.bit_position(key, layer.word_count) as usize);
             }
         }
+        // ordering: monotonic statistics counter; no other memory depends
+        // on its value.
         self.key_count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -386,6 +391,7 @@ impl<S: BitStore> BloomRf<S> {
             }
         }
         self.key_count
+            // ordering: monotonic statistics counter (see `insert`).
             .fetch_add(keys.len() as u64, Ordering::Relaxed);
     }
 
@@ -915,6 +921,8 @@ impl<S: BitStore> BloomRf<S> {
             exact.union_from(arrays.last().expect("exact bitmap snapshot present"));
         }
         self.key_count
+            // ordering: monotonic statistics counter; merge runs under the
+            // caller's exclusive access to `self`.
             .fetch_add(other.key_count(), Ordering::Relaxed);
         Ok(())
     }

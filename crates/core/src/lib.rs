@@ -88,6 +88,7 @@ pub mod error;
 pub mod filter;
 pub mod hashing;
 pub mod model;
+pub mod sync;
 pub mod traits;
 pub mod typed;
 

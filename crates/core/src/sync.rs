@@ -1,0 +1,501 @@
+//! Synchronization facade: the one place this workspace touches lock and
+//! atomic primitives.
+//!
+//! Every crate in the repo imports `Mutex`/`RwLock`/`atomic::*` from here
+//! (enforced by `cargo run -p xtask -- lint`) so that a single cfg switch
+//! re-points the whole concurrency core at a different backend:
+//!
+//! - **Normal builds** (`cfg(not(bloomrf_loom))`): `parking_lot`-convention
+//!   locks (guards returned directly, no poison bookkeeping) and plain
+//!   `std::sync::atomic` types — zero overhead over what the code used
+//!   before the facade existed.
+//! - **Model-checking builds** (`RUSTFLAGS="--cfg bloomrf_loom"`): the
+//!   vendored `shuttle_loom` checker's instrumented locks and atomics, which
+//!   turn every visible operation into a deterministic scheduling point so
+//!   `shuttle_loom::model` can exhaustively explore thread interleavings.
+//!   See `docs/concurrency.md` for how to run the model suite.
+//!
+//! On top of the raw primitives, [`OrderedMutex`] and [`OrderedRwLock`] add a
+//! compile-time *lock rank*. Debug builds keep a thread-local stack of held
+//! ranks and panic on any acquisition that does not strictly increase the
+//! rank — turning the documented lock hierarchy (`flush` → `memtable` →
+//! `ssts` → `files` → `tree` → `io`, see `bloomrf_lsm::ranks`) into a
+//! machine-checked invariant. Release builds compile the wrapper down to the
+//! plain lock: no name field, no thread-local, zero-sized token.
+
+use std::fmt;
+
+/// Atomic types shared by every crate in the workspace. The `Ordering`
+/// semantics of the model backend are sequentially consistent regardless of
+/// the argument (the checker explores interleavings, not weak memory — see
+/// `vendor/shuttle_loom`).
+pub mod atomic {
+    #[cfg(not(bloomrf_loom))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(bloomrf_loom)]
+    pub use shuttle_loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(bloomrf_loom))]
+mod backend {
+    pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+}
+
+#[cfg(bloomrf_loom)]
+mod backend {
+    //! `shuttle_loom` locks re-dressed in the `parking_lot` calling
+    //! convention (guards returned directly) so call sites are identical in
+    //! both builds. The model path never poisons; `into_inner` on a poisoned
+    //! plain-mode lock keeps the value, matching the parking_lot shim.
+
+    use std::sync::PoisonError;
+
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = shuttle_loom::sync::MutexGuard<'a, T>;
+    /// Guard returned by [`RwLock::read`].
+    pub type RwLockReadGuard<'a, T> = shuttle_loom::sync::RwLockReadGuard<'a, T>;
+    /// Guard returned by [`RwLock::write`].
+    pub type RwLockWriteGuard<'a, T> = shuttle_loom::sync::RwLockWriteGuard<'a, T>;
+
+    /// Model-instrumented mutex with the `parking_lot` calling convention.
+    #[derive(Debug)]
+    pub struct Mutex<T: ?Sized>(shuttle_loom::sync::Mutex<T>);
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a new mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Self(shuttle_loom::sync::Mutex::new(value))
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock (a model scheduling point).
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Model-instrumented rwlock with the `parking_lot` calling convention.
+    #[derive(Debug)]
+    pub struct RwLock<T: ?Sized>(shuttle_loom::sync::RwLock<T>);
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T> RwLock<T> {
+        /// Create a new lock holding `value`.
+        pub fn new(value: T) -> Self {
+            Self(shuttle_loom::sync::RwLock::new(value))
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquire a shared read lock (a model scheduling point).
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.0.read().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Acquire an exclusive write lock (a model scheduling point).
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.0.write().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+pub use backend::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// ---------------------------------------------------------------------------
+// Lock-rank checking
+// ---------------------------------------------------------------------------
+
+/// True when lock-rank checking is compiled in (debug builds). Release
+/// builds compile [`OrderedMutex`]/[`OrderedRwLock`] to zero-cost
+/// passthroughs: no lock name, no thread-local acquisition stack.
+pub const fn rank_checking_enabled() -> bool {
+    cfg!(debug_assertions)
+}
+
+#[cfg(debug_assertions)]
+mod rank {
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        /// `(rank, name, token_id)` for every ordered lock this thread holds.
+        static HELD: RefCell<Vec<(u16, &'static str, u64)>> = const { RefCell::new(Vec::new()) };
+        static NEXT_TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Witness of a registered acquisition; removes itself on drop. Guards
+    /// may drop out of order, so removal is by token id, not stack position.
+    pub struct RankToken {
+        id: u64,
+    }
+
+    pub fn acquire(rank: u16, name: &'static str) -> RankToken {
+        HELD.with(|held| {
+            {
+                let held = held.borrow();
+                if let Some(&(top_rank, top_name, _)) = held.iter().max_by_key(|&&(r, _, _)| r) {
+                    assert!(
+                        top_rank < rank,
+                        "lock-order inversion: acquiring '{name}' (rank {rank}) while \
+                         '{top_name}' (rank {top_rank}) is held; ranks must be strictly \
+                         increasing along every acquisition path — currently held: [{}]",
+                        held.iter()
+                            .map(|(r, n, _)| format!("{n}#{r}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+            let id = NEXT_TOKEN.with(|n| {
+                let id = n.get();
+                n.set(id + 1);
+                id
+            });
+            held.borrow_mut().push((rank, name, id));
+            RankToken { id }
+        })
+    }
+
+    impl Drop for RankToken {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held.iter().position(|&(_, _, id)| id == self.id) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod rank {
+    /// Zero-sized witness: release builds carry no acquisition state at all.
+    pub struct RankToken;
+
+    #[inline(always)]
+    pub fn acquire(_rank: u16, _name: &'static str) -> RankToken {
+        RankToken
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranked locks
+// ---------------------------------------------------------------------------
+
+/// A [`Mutex`] with a compile-time rank enforcing the global lock hierarchy
+/// in debug builds (see module docs). `RANK` must strictly exceed the rank
+/// of every lock already held by the acquiring thread.
+pub struct OrderedMutex<T, const RANK: u16> {
+    #[cfg(debug_assertions)]
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+/// Guard returned by [`OrderedMutex::lock`].
+pub struct OrderedMutexGuard<'a, T, const RANK: u16> {
+    // Field order matters: release the real lock before popping the rank.
+    guard: MutexGuard<'a, T>,
+    _token: rank::RankToken,
+}
+
+impl<T, const RANK: u16> OrderedMutex<T, RANK> {
+    /// Create a ranked mutex. `name` is kept (debug builds only) for
+    /// inversion diagnostics.
+    pub fn new(name: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = name;
+        Self {
+            #[cfg(debug_assertions)]
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    fn debug_name(&self) -> &'static str {
+        #[cfg(debug_assertions)]
+        {
+            self.name
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            ""
+        }
+    }
+
+    /// This lock's position in the global hierarchy.
+    pub const fn rank(&self) -> u16 {
+        RANK
+    }
+
+    /// Acquire the lock, checking the rank hierarchy in debug builds.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T, RANK> {
+        let _token = rank::acquire(RANK, self.debug_name());
+        OrderedMutexGuard {
+            guard: self.inner.lock(),
+            _token,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`; no rank check
+    /// needed because no other thread can hold the lock).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T, const RANK: u16> fmt::Debug for OrderedMutex<T, RANK> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("rank", &RANK)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, const RANK: u16> std::ops::Deref for OrderedMutexGuard<'_, T, RANK> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T, const RANK: u16> std::ops::DerefMut for OrderedMutexGuard<'_, T, RANK> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// A [`RwLock`] with a compile-time rank enforcing the global lock hierarchy
+/// in debug builds. Readers and writers check the same rank: the hierarchy
+/// is about acquisition order, not access mode.
+pub struct OrderedRwLock<T, const RANK: u16> {
+    #[cfg(debug_assertions)]
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+/// Guard returned by [`OrderedRwLock::read`].
+pub struct OrderedRwLockReadGuard<'a, T, const RANK: u16> {
+    guard: RwLockReadGuard<'a, T>,
+    _token: rank::RankToken,
+}
+
+/// Guard returned by [`OrderedRwLock::write`].
+pub struct OrderedRwLockWriteGuard<'a, T, const RANK: u16> {
+    guard: RwLockWriteGuard<'a, T>,
+    _token: rank::RankToken,
+}
+
+impl<T, const RANK: u16> OrderedRwLock<T, RANK> {
+    /// Create a ranked rwlock. `name` is kept (debug builds only) for
+    /// inversion diagnostics.
+    pub fn new(name: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = name;
+        Self {
+            #[cfg(debug_assertions)]
+            name,
+            inner: RwLock::new(value),
+        }
+    }
+
+    fn debug_name(&self) -> &'static str {
+        #[cfg(debug_assertions)]
+        {
+            self.name
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            ""
+        }
+    }
+
+    /// This lock's position in the global hierarchy.
+    pub const fn rank(&self) -> u16 {
+        RANK
+    }
+
+    /// Acquire a shared read lock, checking the rank hierarchy in debug
+    /// builds.
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T, RANK> {
+        let _token = rank::acquire(RANK, self.debug_name());
+        OrderedRwLockReadGuard {
+            guard: self.inner.read(),
+            _token,
+        }
+    }
+
+    /// Acquire an exclusive write lock, checking the rank hierarchy in
+    /// debug builds.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T, RANK> {
+        let _token = rank::acquire(RANK, self.debug_name());
+        OrderedRwLockWriteGuard {
+            guard: self.inner.write(),
+            _token,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`; no rank check
+    /// needed because no other thread can hold the lock).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T, const RANK: u16> fmt::Debug for OrderedRwLock<T, RANK> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedRwLock")
+            .field("rank", &RANK)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, const RANK: u16> std::ops::Deref for OrderedRwLockReadGuard<'_, T, RANK> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T, const RANK: u16> std::ops::Deref for OrderedRwLockWriteGuard<'_, T, RANK> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T, const RANK: u16> std::ops::DerefMut for OrderedRwLockWriteGuard<'_, T, RANK> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_locks_behave_like_plain_locks() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 2);
+        let rw = RwLock::new(vec![1u8]);
+        rw.write().push(2);
+        assert_eq!(rw.read().len(), 2);
+    }
+
+    #[test]
+    fn increasing_ranks_are_accepted() {
+        let a: OrderedRwLock<u32, 10> = OrderedRwLock::new("a", 1);
+        let b: OrderedMutex<u32, 20> = OrderedMutex::new("b", 2);
+        let c: OrderedRwLock<u32, 30> = OrderedRwLock::new("c", 3);
+        let ga = a.read();
+        let gb = b.lock();
+        let gc = c.write();
+        assert_eq!((*ga, *gb, *gc), (1, 2, 3));
+    }
+
+    #[test]
+    fn out_of_order_guard_drops_are_fine() {
+        let a: OrderedRwLock<u32, 10> = OrderedRwLock::new("a", 1);
+        let b: OrderedRwLock<u32, 20> = OrderedRwLock::new("b", 2);
+        let ga = a.read();
+        let gb = b.read();
+        drop(ga); // release the lower rank first
+        drop(gb);
+        // The stack is clean again: re-acquiring from the bottom works.
+        let _ga = a.write();
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "rank checking compiles out in release builds"
+    )]
+    fn inversion_panics_in_debug() {
+        let low: OrderedRwLock<u32, 10> = OrderedRwLock::new("low", 1);
+        let high: OrderedRwLock<u32, 20> = OrderedRwLock::new("high", 2);
+        let _gh = high.read();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| low.read()));
+        let msg = match result {
+            Ok(_) => panic!("inversion not caught"),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+        };
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        assert!(msg.contains("'low' (rank 10)"), "{msg}");
+        assert!(msg.contains("'high' (rank 20)"), "{msg}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "rank checking compiles out in release builds"
+    )]
+    fn same_rank_reacquisition_panics_in_debug() {
+        let a: OrderedMutex<u32, 10> = OrderedMutex::new("a", 1);
+        let b: OrderedMutex<u32, 10> = OrderedMutex::new("b", 2);
+        let _ga = a.lock();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.lock()));
+        assert!(result.is_err(), "equal ranks must not nest");
+    }
+
+    #[test]
+    fn release_wrapper_is_zero_cost() {
+        use std::mem::size_of;
+        if rank_checking_enabled() {
+            // Debug: the name field is the only addition to the lock itself.
+            assert!(size_of::<OrderedRwLock<u64, 10>>() > 0);
+        } else {
+            // Release: no name field, zero-sized token — the wrapper *is*
+            // the plain lock.
+            assert_eq!(
+                size_of::<OrderedRwLock<u64, 10>>(),
+                size_of::<RwLock<u64>>()
+            );
+            assert_eq!(size_of::<OrderedMutex<u64, 10>>(), size_of::<Mutex<u64>>());
+            assert_eq!(size_of::<rank::RankToken>(), 0);
+        }
+    }
+}

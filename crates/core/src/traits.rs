@@ -123,34 +123,28 @@ pub trait ExclusiveOnlineFilter: PointRangeFilter {
 /// ```
 #[derive(Debug)]
 pub struct Locked<F> {
-    inner: std::sync::RwLock<F>,
+    inner: crate::sync::RwLock<F>,
 }
 
 impl<F: ExclusiveOnlineFilter> Locked<F> {
     /// Wrap an exclusive filter for shared-reference insertion.
     pub fn new(filter: F) -> Self {
         Self {
-            inner: std::sync::RwLock::new(filter),
+            inner: crate::sync::RwLock::new(filter),
         }
     }
 
     /// Unwrap back into the exclusive filter.
     pub fn into_inner(self) -> F {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner.into_inner()
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, F> {
-        self.inner
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn read(&self) -> crate::sync::RwLockReadGuard<'_, F> {
+        self.inner.read()
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, F> {
-        self.inner
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn write(&self) -> crate::sync::RwLockWriteGuard<'_, F> {
+        self.inner.write()
     }
 }
 

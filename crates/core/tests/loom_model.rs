@@ -1,0 +1,103 @@
+//! Model-checked concurrency tests for the bloomRF core, run under
+//! `RUSTFLAGS='--cfg bloomrf_loom' cargo test -p bloomrf --test loom_model`.
+//!
+//! Under that cfg the `bloomrf::sync` facade swaps its std/parking_lot
+//! backends for the vendored `shuttle_loom` model checker, which explores
+//! thread interleavings exhaustively (bounded DFS over every scheduling
+//! decision) instead of relying on whatever the OS scheduler happens to do.
+//! `report.exhausted` asserts that *every* schedule was covered, so these are
+//! proofs over the interleaving space of the test body — within the checker's
+//! fidelity limits (sequentially consistent interleavings only; see
+//! `docs/concurrency.md`).
+#![cfg(bloomrf_loom)]
+
+use bloomrf::bitarray::{BitStore, ShardedAtomicBits};
+use bloomrf::BloomRf;
+use shuttle_loom::{thread, Builder};
+use std::sync::Arc;
+
+/// Two threads set different bits of the *same* word through the sharded
+/// store's CAS loop. Every interleaving must keep both updates — the classic
+/// lost-update bug (plain read-modify-write) fails this under the checker.
+#[test]
+fn cas_word_set_loses_no_update_across_two_threads() {
+    let report = Builder::default().check(|| {
+        let bits = Arc::new(ShardedAtomicBits::new(64, 1));
+        let handles: Vec<_> = [1usize, 5]
+            .into_iter()
+            .map(|idx| {
+                let bits = Arc::clone(&bits);
+                thread::spawn(move || bits.set(idx))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(bits.get(1) && bits.get(5), "a CAS update was lost");
+        assert_eq!(bits.count_ones(), 2);
+    });
+    assert!(report.exhausted, "exploration must be exhaustive");
+    assert!(
+        report.iterations > 1,
+        "two racing writers must produce more than one schedule"
+    );
+}
+
+/// Three threads, two of them racing on the *same* bit — this drives the CAS
+/// loop's already-set fast path (`current & mask == mask` skips the CAS) in
+/// some schedules and the retry path in others. No schedule may lose the
+/// third thread's neighbouring-bit update. Full DFS over three writers is
+/// combinatorially infeasible, so this explores every schedule with at most
+/// two preemptions — the CHESS bound that catches virtually all real
+/// interleaving bugs.
+#[test]
+fn cas_word_set_three_threads_with_already_set_skip() {
+    let mut builder = Builder::default();
+    builder.preemption_bound = Some(2);
+    let report = builder.check(|| {
+        let bits = Arc::new(ShardedAtomicBits::new(64, 1));
+        let handles: Vec<_> = [3usize, 3, 9]
+            .into_iter()
+            .map(|idx| {
+                let bits = Arc::clone(&bits);
+                thread::spawn(move || bits.set(idx))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(bits.get(3) && bits.get(9));
+        assert_eq!(bits.count_ones(), 2);
+    });
+    assert!(
+        report.exhausted,
+        "exploration must be exhaustive within the preemption bound"
+    );
+}
+
+/// Online use: one thread inserts a batch while another runs point queries.
+/// The documented contract is *no false negatives for keys inserted before
+/// the query began*; keys inserted concurrently may or may not be seen, and
+/// after the writer is joined they must all be visible. Preemption-bounded
+/// (the filter touches one word per level, so full DFS would be huge).
+#[test]
+fn insert_batch_vs_point_queries_never_lose_settled_keys() {
+    let mut builder = Builder::default();
+    builder.preemption_bound = Some(2);
+    let report = builder.check(|| {
+        let filter = Arc::new(BloomRf::basic(64, 16, 12.0, 7).unwrap());
+        filter.insert(42);
+        let writer = {
+            let filter = Arc::clone(&filter);
+            thread::spawn(move || filter.insert_batch(&[7, 4711]))
+        };
+        // Settled key: visible in every schedule, even mid-insert_batch.
+        let seen = filter.contains_point_batch(&[42]);
+        assert!(seen[0], "a key inserted before the query went missing");
+        writer.join().unwrap();
+        // Writer joined: its keys are settled now.
+        let after = filter.contains_point_batch(&[7, 4711, 42]);
+        assert!(after.iter().all(|&b| b), "a joined writer's key is missing");
+    });
+    assert!(report.iterations > 1);
+}

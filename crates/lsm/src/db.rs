@@ -23,16 +23,17 @@
 //! See `docs/compaction.md` for the full protocol.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bloomrf::sync::atomic::{AtomicU64, Ordering};
+use bloomrf::sync::{OrderedMutex, OrderedRwLock};
 use bloomrf_filters::FilterKind;
-use parking_lot::{Mutex, RwLock};
 
 use crate::io::{read_with_retry, RealIo, StorageIo};
 use crate::memtable::MemTable;
 use crate::persist::{self, PersistError};
+use crate::ranks;
 use crate::sst::SsTable;
 use crate::stats::{IoModel, ReadStats, ReadStatsSnapshot};
 use crate::tree::{FilterTree, TreeOptions};
@@ -140,7 +141,7 @@ struct Persistence {
     /// File ledger aligned 1:1 with `Db::ssts` (slot `i` ⇔ `ssts[i]`). The
     /// MANIFEST only ever names the longest fully-persisted prefix — a gap
     /// must not let a newer file resurrect past an unpersisted older table.
-    files: Mutex<Vec<Option<Slot>>>,
+    files: OrderedMutex<Vec<Option<Slot>>, { ranks::FILES }>,
     /// Number the next flushed SST file will get.
     next_file_no: AtomicU64,
 }
@@ -162,17 +163,24 @@ fn manifest_entries(slots: &[Option<Slot>]) -> Vec<persist::ManifestEntry> {
 pub struct Db {
     options: DbOptions,
     memtable: MemTable,
+    /// Serializes flushes. The snapshot → build → publish → forget sequence
+    /// in [`Db::flush`] is only correct when flushes do not interleave (two
+    /// flushes snapshotting the same entries would publish duplicate SSTs),
+    /// and the lock must be taken *before* any other store lock — hence the
+    /// lowest rank in the hierarchy.
+    flush_lock: OrderedMutex<(), { ranks::FLUSH }>,
     /// Level-0 tables, oldest first. Compaction splices a window of this
     /// vector in place; age order is always preserved.
-    ssts: RwLock<Vec<SsTable>>,
+    ssts: OrderedRwLock<Vec<SsTable>, { ranks::SSTS }>,
     /// Filter tree over `ssts` (leaf `i` ⇔ `ssts[i]`), present when routing
     /// is [`ReadRouting::FilterTree`].
     ///
-    /// Lock order is always `ssts` → `persist.files` → `tree`, for writers
-    /// and readers alike; flush and compaction hold the `ssts` write lock
-    /// across their whole commit so readers never observe a half-spliced
-    /// store.
-    tree: Option<RwLock<FilterTree>>,
+    /// Lock order is always `flush` → `memtable` → `ssts` → `persist.files`
+    /// → `tree` → `io`, for writers and readers alike — machine-enforced in
+    /// debug builds by the [`crate::ranks`] hierarchy. Flush and compaction
+    /// hold the `ssts` write lock across their whole commit so readers never
+    /// observe a half-spliced store.
+    tree: Option<OrderedRwLock<FilterTree, { ranks::TREE }>>,
     stats: ReadStats,
     /// Present for durable stores opened via [`Db::open`] / [`Db::open_with`].
     persist: Option<Persistence>,
@@ -194,12 +202,14 @@ impl Db {
 
     /// Open an empty, ephemeral store (SSTs live only in memory).
     pub fn new(options: DbOptions) -> Self {
-        let tree = Self::resolved_tree(&options)
-            .map(|(fanout, leaf_keys, bpk)| RwLock::new(FilterTree::new(fanout, leaf_keys, bpk)));
+        let tree = Self::resolved_tree(&options).map(|(fanout, leaf_keys, bpk)| {
+            OrderedRwLock::new("db.tree", FilterTree::new(fanout, leaf_keys, bpk))
+        });
         Self {
             options,
             memtable: MemTable::new(),
-            ssts: RwLock::new(Vec::new()),
+            flush_lock: OrderedMutex::new("db.flush", ()),
+            ssts: OrderedRwLock::new("db.ssts", Vec::new()),
             tree,
             stats: ReadStats::new(),
             persist: None,
@@ -408,7 +418,7 @@ impl Db {
         let persistence = Persistence {
             dir,
             io,
-            files: Mutex::new(kept.into_iter().map(Some).collect()),
+            files: OrderedMutex::new("db.files", kept.into_iter().map(Some).collect()),
             next_file_no: AtomicU64::new(next_file_no),
         };
         // If the tail was dropped or retirements were replayed, commit the
@@ -434,8 +444,9 @@ impl Db {
         Ok(Self {
             options,
             memtable: MemTable::new(),
-            ssts: RwLock::new(ssts),
-            tree: tree.map(RwLock::new),
+            flush_lock: OrderedMutex::new("db.flush", ()),
+            ssts: OrderedRwLock::new("db.ssts", ssts),
+            tree: tree.map(|t| OrderedRwLock::new("db.tree", t)),
             stats,
             persist: Some(persistence),
         })
@@ -508,10 +519,18 @@ impl Db {
     /// [`FilterTree`], re-unions its ancestors, and (durable stores) rewrites
     /// the checksummed `TREE` file. The table-set mutation, the MANIFEST
     /// commit and the TREE write all happen under the `ssts` write lock, so
-    /// concurrent flushes serialize and the persisted TREE always matches the
-    /// manifest it was written with.
+    /// the persisted TREE always matches the manifest it was written with.
+    ///
+    /// Readers never lose sight of a key mid-flush: the memtable is
+    /// *snapshotted* (not drained), the SST is built and published, and only
+    /// then are the snapshotted entries dropped from the memtable — and only
+    /// those whose value is still the snapshotted one, so writes racing the
+    /// flush survive it. (Draining first opened a window where a key was in
+    /// neither the memtable nor any SST; the loom model test
+    /// `flush_never_hides_a_published_key` fails on that ordering.)
     pub fn flush(&self) {
-        let entries = self.memtable.drain_sorted();
+        let _flushing = self.flush_lock.lock();
+        let entries = self.memtable.snapshot_sorted();
         if entries.is_empty() {
             return;
         }
@@ -556,6 +575,10 @@ impl Db {
                 }
             }
         }
+        // The SST is visible from here on; release the table-set lock before
+        // re-entering the memtable (rank order) and drop the flushed entries.
+        drop(ssts);
+        self.memtable.forget(&entries);
     }
 
     /// Compact the entire table set into (at most) one SST. Because the
@@ -1092,6 +1115,8 @@ impl Persistence {
         entries: &[persist::ManifestEntry],
         retired: &[String],
     ) -> Result<(), PersistError> {
+        // ordering: counter only grows; persisting a slightly stale value is
+        // benign — recovery re-derives the floor from on-disk file names.
         let manifest =
             persist::encode_manifest(entries, retired, self.next_file_no.load(Ordering::Relaxed));
         self.write_atomic(MANIFEST_NAME, &manifest)
@@ -1106,6 +1131,7 @@ impl Persistence {
         retired: &[String],
         stats: &ReadStats,
     ) -> Result<(), PersistError> {
+        // ordering: same stale-counter tolerance as `write_manifest_with`.
         let manifest =
             persist::encode_manifest(entries, retired, self.next_file_no.load(Ordering::Relaxed));
         let path = self.dir.join(MANIFEST_NAME);
@@ -1137,6 +1163,8 @@ impl Persistence {
     /// Persist a freshly flushed SST under the next file number. The caller
     /// commits the manifest separately.
     fn persist_sst(&self, sst: &SsTable) -> Result<String, PersistError> {
+        // ordering: fetch_add's atomicity alone guarantees unique file
+        // numbers; no other state is published through the counter.
         let n = self.next_file_no.fetch_add(1, Ordering::Relaxed);
         let name = persist::sst_file_name(n);
         self.write_atomic(&name, &sst.to_bytes())?;
@@ -1148,6 +1176,7 @@ impl Persistence {
     /// write that survives to the manifest commit would poison the store —
     /// verify before committing. On exhaustion the file is removed.
     fn write_sst_verified(&self, sst: &SsTable, stats: &ReadStats) -> Result<String, PersistError> {
+        // ordering: unique-ticket fetch_add, as in `persist_sst`.
         let n = self.next_file_no.fetch_add(1, Ordering::Relaxed);
         let name = persist::sst_file_name(n);
         let bytes = sst.to_bytes();

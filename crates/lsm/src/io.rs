@@ -9,10 +9,13 @@
 //! of the seed and an operation counter, so a failing run is replayable from
 //! its seed alone.
 
+use bloomrf::sync::atomic::{AtomicU64, Ordering};
+use bloomrf::sync::OrderedMutex;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use crate::ranks;
 
 /// The file operations the persistence layer needs. Deliberately coarse
 /// (whole-file reads and writes): SST files are immutable once renamed into
@@ -109,8 +112,9 @@ pub struct FaultyIo<I: StorageIo = RealIo> {
     /// fault decision deterministic yet different per operation.
     ops: AtomicU64,
     /// Reads currently inside an injected transient-failure burst:
-    /// `(site, remaining_failures)`.
-    transient: parking_lot::Mutex<std::collections::HashMap<PathBuf, u32>>,
+    /// `(site, remaining_failures)`. Innermost lock of the hierarchy — I/O
+    /// runs with any of the store's structural locks held.
+    transient: OrderedMutex<std::collections::HashMap<PathBuf, u32>, { ranks::IO }>,
 }
 
 impl FaultyIo<RealIo> {
@@ -128,17 +132,20 @@ impl<I: StorageIo> FaultyIo<I> {
             seed,
             config,
             ops: AtomicU64::new(0),
-            transient: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            transient: OrderedMutex::new("faulty_io.transient", std::collections::HashMap::new()),
         }
     }
 
     /// Number of operations processed so far (for assertions in tests).
     pub fn ops(&self) -> u64 {
+        // ordering: monotonic operation counter read for test assertions.
         self.ops.load(Ordering::Relaxed)
     }
 
     /// A fresh deterministic pseudo-random word for the next decision.
     fn roll(&self) -> u64 {
+        // ordering: each caller only needs a unique ticket, not any
+        // relationship to other threads' operations.
         let n = self.ops.fetch_add(1, Ordering::Relaxed);
         bloomrf::hashing::mix64(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }

@@ -57,6 +57,35 @@ pub mod tree;
 pub mod typed;
 pub mod value;
 
+/// Lock ranks for the crate's [`bloomrf::sync::OrderedMutex`] /
+/// [`bloomrf::sync::OrderedRwLock`] instances. A thread may only acquire a
+/// lock of *strictly greater* rank than every lock it already holds, so any
+/// execution that violates the documented hierarchy
+///
+/// ```text
+/// flush → memtable → ssts → files → tree → io
+/// ```
+///
+/// panics immediately in debug builds instead of deadlocking some future run.
+/// Gaps between the constants leave room for new locks without renumbering;
+/// see `docs/concurrency.md` for the full contract.
+pub mod ranks {
+    /// `Db::flush_lock` — serializes whole flushes, taken before anything
+    /// else so a flush may traverse the entire hierarchy below it.
+    pub const FLUSH: u16 = 5;
+    /// `MemTable::entries` — the write buffer's ordered map.
+    pub const MEMTABLE: u16 = 10;
+    /// `Db::ssts` — the level-0 table set.
+    pub const SSTS: u16 = 20;
+    /// `Persistence::files` — the durable file ledger aligned with `ssts`.
+    pub const FILES: u16 = 30;
+    /// `Db::tree` — the Bloofi-style filter tree over `ssts`.
+    pub const TREE: u16 = 40;
+    /// `FaultyIo::transient` — innermost: I/O helpers may be called with any
+    /// of the structural locks held.
+    pub const IO: u16 = 50;
+}
+
 pub use db::{CompactionStats, Db, DbOptions, ReadRouting};
 pub use io::{FaultConfig, FaultyIo, RealIo, StorageIo};
 pub use memtable::MemTable;

@@ -11,17 +11,28 @@
 //! real entry (it flushes into the SST like any put) that shadows every older
 //! version of its key until compaction drops it.
 
-use parking_lot::RwLock;
+use bloomrf::sync::atomic::{AtomicUsize, Ordering};
+use bloomrf::sync::OrderedRwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use crate::ranks;
 use crate::value::Value;
 
 /// An ordered, thread-safe write buffer.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemTable {
-    entries: RwLock<BTreeMap<u64, Value>>,
-    approximate_bytes: std::sync::atomic::AtomicUsize,
+    entries: OrderedRwLock<BTreeMap<u64, Value>, { ranks::MEMTABLE }>,
+    approximate_bytes: AtomicUsize,
+}
+
+impl Default for MemTable {
+    fn default() -> Self {
+        Self {
+            entries: OrderedRwLock::new("memtable.entries", BTreeMap::new()),
+            approximate_bytes: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl MemTable {
@@ -44,12 +55,15 @@ impl MemTable {
     fn insert(&self, key: u64, value: Value) {
         let added = 8 + value.payload_len();
         let mut map = self.entries.write();
+        // ordering: approximate_bytes is an advisory gauge only ever read
+        // for flush heuristics and tests; it is always adjusted under the
+        // entries write lock, so relaxed RMWs cannot race each other.
         if let Some(old) = map.insert(key, value) {
             self.approximate_bytes
-                .fetch_sub(8 + old.payload_len(), std::sync::atomic::Ordering::Relaxed);
+                .fetch_sub(8 + old.payload_len(), Ordering::Relaxed);
         }
-        self.approximate_bytes
-            .fetch_add(added, std::sync::atomic::Ordering::Relaxed);
+        // ordering: same advisory-gauge reasoning as above.
+        self.approximate_bytes.fetch_add(added, Ordering::Relaxed);
     }
 
     /// Point lookup. `Some(Value::Tombstone)` means the key was deleted here
@@ -96,16 +110,44 @@ impl MemTable {
 
     /// Approximate payload size in bytes (keys + values).
     pub fn approximate_bytes(&self) -> usize {
-        self.approximate_bytes
-            .load(std::sync::atomic::Ordering::Relaxed)
+        // ordering: advisory gauge, callers tolerate a slightly stale value.
+        self.approximate_bytes.load(Ordering::Relaxed)
     }
 
-    /// Drain every entry in key order (used by flush).
+    /// Drain every entry in key order.
     pub fn drain_sorted(&self) -> Vec<(u64, Value)> {
         let mut map = self.entries.write();
-        self.approximate_bytes
-            .store(0, std::sync::atomic::Ordering::Relaxed);
+        // ordering: reset under the entries write lock; advisory gauge.
+        self.approximate_bytes.store(0, Ordering::Relaxed);
         std::mem::take(&mut *map).into_iter().collect()
+    }
+
+    /// Clone every entry in key order *without* draining. The flush path
+    /// snapshots, builds and publishes the SST, and only then calls
+    /// [`MemTable::forget`] — so readers see every key in the memtable or the
+    /// table set at all times (never in neither, which
+    /// [`MemTable::drain_sorted`]-then-publish allowed).
+    pub fn snapshot_sorted(&self) -> Vec<(u64, Value)> {
+        let map = self.entries.read();
+        map.iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+
+    /// Drop the snapshotted entries that are still current. An entry whose
+    /// value changed since the snapshot (overwrite or delete during the
+    /// flush) is kept: the newer version is not in the SST the snapshot
+    /// built, so it must stay visible here. An unchanged entry is safe to
+    /// drop — the published SST holds an identical copy.
+    pub fn forget(&self, snapshot: &[(u64, Value)]) {
+        let mut map = self.entries.write();
+        for (key, value) in snapshot {
+            if map.get(key) == Some(value) {
+                map.remove(key);
+                // ordering: adjusted under the entries write lock; advisory
+                // gauge (see `insert`).
+                self.approximate_bytes
+                    .fetch_sub(8 + value.payload_len(), Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -178,6 +220,30 @@ mod tests {
             vec![10, 15, 20, 30]
         );
         assert_eq!(drained[1].1, Value::Tombstone);
+        assert!(mt.is_empty());
+        assert_eq!(mt.approximate_bytes(), 0);
+    }
+
+    #[test]
+    fn forget_keeps_entries_that_changed_after_the_snapshot() {
+        let mt = MemTable::new();
+        mt.put(1, vec![1]);
+        mt.put(2, vec![2]);
+        mt.put(3, vec![3]);
+        let snapshot = mt.snapshot_sorted();
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(mt.len(), 3, "snapshotting must not drain");
+        // Mutations racing the (simulated) flush: an overwrite and a delete.
+        mt.put(2, vec![99]);
+        mt.delete(3);
+        mt.forget(&snapshot);
+        assert_eq!(mt.get(1), None, "unchanged entry leaves with the flush");
+        assert_eq!(mt.get(2), Some(Value::Put(vec![99])));
+        assert_eq!(mt.get(3), Some(Value::Tombstone));
+        assert_eq!(mt.len(), 2);
+        // Forgetting everything zeroes the gauge.
+        let rest = mt.snapshot_sorted();
+        mt.forget(&rest);
         assert!(mt.is_empty());
         assert_eq!(mt.approximate_bytes(), 0);
     }

@@ -182,6 +182,32 @@ pub struct DecodedSst {
 // Section primitives
 // ---------------------------------------------------------------------------
 
+// Little-endian field decoders that cannot panic regardless of slice length
+// (missing bytes read as zero). Recovery code runs against adversarial
+// on-disk bytes and must stay panic-free, so these replace the usual
+// `try_into().unwrap()` array conversions; every caller passes a slice whose
+// exact length was already bounds-checked by `take`/`get`.
+
+fn le_fold(bytes: &[u8], width: usize) -> u64 {
+    bytes
+        .iter()
+        .take(width)
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << (8 * i)))
+}
+
+pub(crate) fn le_u16(bytes: &[u8]) -> u16 {
+    le_fold(bytes, 2) as u16
+}
+
+pub(crate) fn le_u32(bytes: &[u8]) -> u32 {
+    le_fold(bytes, 4) as u32
+}
+
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+    le_fold(bytes, 8)
+}
+
 pub(crate) fn push_section(out: &mut Vec<u8>, tag: u32, body: &[u8]) {
     out.extend_from_slice(&tag.to_le_bytes());
     out.extend_from_slice(&(body.len() as u64).to_le_bytes());
@@ -201,14 +227,14 @@ pub(crate) fn take_section<'a>(
     let header = bytes
         .get(*cur..*cur + 12)
         .ok_or_else(|| Corruption::new(section, format!("truncated at offset {}", *cur)))?;
-    let tag = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let tag = le_u32(&header[0..4]);
     if tag != want_tag {
         return Err(Corruption::new(
             section,
             format!("expected section tag {want_tag}, found {tag}"),
         ));
     }
-    let len = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let len = le_u64(&header[4..12]);
     *cur += 12;
     if len > (bytes.len() - *cur) as u64 {
         return Err(Corruption::new(
@@ -219,12 +245,10 @@ pub(crate) fn take_section<'a>(
     let len = len as usize;
     let body = &bytes[*cur..*cur + len];
     *cur += len;
-    let stored = u32::from_le_bytes(
+    let stored = le_u32(
         bytes
             .get(*cur..*cur + 4)
-            .ok_or_else(|| Corruption::new(section, "truncated checksum"))?
-            .try_into()
-            .unwrap(),
+            .ok_or_else(|| Corruption::new(section, "truncated checksum"))?,
     );
     *cur += 4;
     let computed = crc32(body);
@@ -255,9 +279,7 @@ pub(crate) fn take_u32(
     cur: &mut usize,
     section: &'static str,
 ) -> Result<u32, Corruption> {
-    Ok(u32::from_le_bytes(
-        take(body, cur, 4, section)?.try_into().unwrap(),
-    ))
+    Ok(le_u32(take(body, cur, 4, section)?))
 }
 
 pub(crate) fn take_u64(
@@ -265,9 +287,7 @@ pub(crate) fn take_u64(
     cur: &mut usize,
     section: &'static str,
 ) -> Result<u64, Corruption> {
-    Ok(u64::from_le_bytes(
-        take(body, cur, 8, section)?.try_into().unwrap(),
-    ))
+    Ok(le_u64(take(body, cur, 8, section)?))
 }
 
 // ---------------------------------------------------------------------------
@@ -453,12 +473,10 @@ pub fn decode_sst(bytes: &[u8]) -> Result<DecodedSst, Corruption> {
     if magic != SST_MAGIC {
         return Err(Corruption::new("magic", "missing BSST magic"));
     }
-    let version = u32::from_le_bytes(
+    let version = le_u32(
         bytes
             .get(4..8)
-            .ok_or_else(|| Corruption::new("magic", "file shorter than the version"))?
-            .try_into()
-            .unwrap(),
+            .ok_or_else(|| Corruption::new("magic", "file shorter than the version"))?,
     );
     if !(1..=SST_FORMAT_VERSION).contains(&version) {
         return Err(Corruption::new(
@@ -725,7 +743,7 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData, Corruption> 
     let mut b = 0usize;
     let next_file_no = take_u64(body, &mut b, section)?;
     let take_name = |b: &mut usize| -> Result<String, Corruption> {
-        let name_len = u16::from_le_bytes(take(body, b, 2, section)?.try_into().unwrap()) as usize;
+        let name_len = le_u16(take(body, b, 2, section)?) as usize;
         let name = take(body, b, name_len, section)?;
         std::str::from_utf8(name)
             .map(str::to_string)

@@ -7,7 +7,7 @@
 //! a configurable latency, so the cost breakdown has the same structure while
 //! remaining deterministic and laptop-friendly.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use bloomrf::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Cost model for simulated storage accesses.
@@ -83,6 +83,16 @@ pub struct ReadStats {
     pub unpersisted_ssts: AtomicU64,
 }
 
+/// Bump one telemetry counter. All [`ReadStats`] fields are independent,
+/// monotonic counters: nothing is ever published *through* them, no reader
+/// derives a decision from a cross-counter invariant, and snapshots are
+/// explicitly allowed to be an inconsistent cut — so relaxed ordering is
+/// sufficient everywhere in this module.
+fn add(counter: &AtomicU64, n: u64) {
+    // ordering: independent telemetry counter (see `add`'s doc comment).
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
 impl ReadStats {
     /// Create zeroed counters.
     pub fn new() -> Self {
@@ -111,114 +121,124 @@ impl ReadStats {
             &self.tree_rebuilds,
             &self.unpersisted_ssts,
         ] {
+            // ordering: counters are independent; a reset racing recorders
+            // may zero some counters before others, which snapshots tolerate.
             counter.store(0, Ordering::Relaxed);
         }
     }
 
     /// Record one filter probe outcome and its duration.
     pub fn record_filter_probe(&self, positive: bool, nanos: u64) {
-        self.filter_probes.fetch_add(1, Ordering::Relaxed);
-        self.filter_probe_ns.fetch_add(nanos, Ordering::Relaxed);
+        add(&self.filter_probes, 1);
+        add(&self.filter_probe_ns, nanos);
         if positive {
-            self.filter_positives.fetch_add(1, Ordering::Relaxed);
+            add(&self.filter_positives, 1);
         } else {
-            self.filter_negatives.fetch_add(1, Ordering::Relaxed);
+            add(&self.filter_negatives, 1);
         }
     }
 
     /// Record `blocks` simulated block reads under the given model.
     pub fn record_block_reads(&self, blocks: u64, model: &IoModel) {
-        self.blocks_read.fetch_add(blocks, Ordering::Relaxed);
-        self.io_wait_ns.fetch_add(
+        add(&self.blocks_read, blocks);
+        add(
+            &self.io_wait_ns,
             blocks * model.block_read_latency.as_nanos() as u64,
-            Ordering::Relaxed,
         );
     }
 
     /// Record residual CPU time.
     pub fn record_cpu(&self, nanos: u64) {
-        self.cpu_ns.fetch_add(nanos, Ordering::Relaxed);
+        add(&self.cpu_ns, nanos);
     }
 
     /// Record an observed end-to-end false positive.
     pub fn record_false_positive(&self) {
-        self.false_positives.fetch_add(1, Ordering::Relaxed);
+        add(&self.false_positives, 1);
     }
 
     /// Record a filter block quarantined (persisted bytes failed verification).
     pub fn record_filter_quarantined(&self) {
-        self.filters_quarantined.fetch_add(1, Ordering::Relaxed);
+        add(&self.filters_quarantined, 1);
     }
 
     /// Record a filter block rebuilt from verified data blocks.
     pub fn record_filter_rebuilt(&self) {
-        self.filters_rebuilt.fetch_add(1, Ordering::Relaxed);
+        add(&self.filters_rebuilt, 1);
     }
 
     /// Record an incomplete tail SST skipped during recovery.
     pub fn record_tail_sst_skipped(&self) {
-        self.tail_ssts_skipped.fetch_add(1, Ordering::Relaxed);
+        add(&self.tail_ssts_skipped, 1);
     }
 
     /// Record `n` transient read errors that bounded retry absorbed.
     pub fn record_read_retries(&self, n: u64) {
-        self.read_retries.fetch_add(n, Ordering::Relaxed);
+        add(&self.read_retries, n);
     }
 
     /// Record a failed persistence attempt (flush kept memory-only).
     pub fn record_persist_failure(&self) {
-        self.persist_failures.fetch_add(1, Ordering::Relaxed);
+        add(&self.persist_failures, 1);
     }
 
     /// Record `n` filter-tree node probes.
     pub fn record_tree_probes(&self, n: u64) {
-        self.tree_probes.fetch_add(n, Ordering::Relaxed);
+        add(&self.tree_probes, n);
     }
 
     /// Record `n` `(query, SST)` pairs pruned by the filter tree.
     pub fn record_ssts_pruned(&self, n: u64) {
-        self.ssts_pruned.fetch_add(n, Ordering::Relaxed);
+        add(&self.ssts_pruned, n);
     }
 
     /// Record `n` `(query, SST)` pairs selected for probing.
     pub fn record_ssts_probed(&self, n: u64) {
-        self.ssts_probed.fetch_add(n, Ordering::Relaxed);
+        add(&self.ssts_probed, n);
     }
 
     /// Record one filter-tree rebuild event (recovery fallback or subtree
     /// rebuild after retirement).
     pub fn record_tree_rebuild(&self) {
-        self.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
+        add(&self.tree_rebuilds, 1);
     }
 
     /// Set the unpersisted-SST gauge to the current count (store, not add:
     /// the flush path recomputes the number of memory-only tables after every
     /// persistence attempt).
     pub fn record_unpersisted_ssts(&self, n: u64) {
+        // ordering: last-writer-wins gauge; writers already serialize on the
+        // file ledger lock, readers tolerate a stale value.
         self.unpersisted_ssts.store(n, Ordering::Relaxed);
     }
 
-    /// Snapshot into a plain struct.
+    /// Snapshot into a plain struct. The snapshot is *not* a consistent cut:
+    /// counters recorded concurrently may be split across it (e.g. a probe
+    /// counted but its outcome not yet). Callers quiesce writers when they
+    /// need exact totals — every experiment in this repo does.
     pub fn snapshot(&self) -> ReadStatsSnapshot {
+        // ordering: independent telemetry counters; consistency across
+        // counters is explicitly not promised (see doc comment above).
+        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         ReadStatsSnapshot {
-            filter_probes: self.filter_probes.load(Ordering::Relaxed),
-            filter_positives: self.filter_positives.load(Ordering::Relaxed),
-            filter_negatives: self.filter_negatives.load(Ordering::Relaxed),
-            false_positives: self.false_positives.load(Ordering::Relaxed),
-            blocks_read: self.blocks_read.load(Ordering::Relaxed),
-            filter_probe_ns: self.filter_probe_ns.load(Ordering::Relaxed),
-            io_wait_ns: self.io_wait_ns.load(Ordering::Relaxed),
-            cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
-            filters_quarantined: self.filters_quarantined.load(Ordering::Relaxed),
-            filters_rebuilt: self.filters_rebuilt.load(Ordering::Relaxed),
-            tail_ssts_skipped: self.tail_ssts_skipped.load(Ordering::Relaxed),
-            read_retries: self.read_retries.load(Ordering::Relaxed),
-            persist_failures: self.persist_failures.load(Ordering::Relaxed),
-            tree_probes: self.tree_probes.load(Ordering::Relaxed),
-            ssts_pruned: self.ssts_pruned.load(Ordering::Relaxed),
-            ssts_probed: self.ssts_probed.load(Ordering::Relaxed),
-            tree_rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
-            unpersisted_ssts: self.unpersisted_ssts.load(Ordering::Relaxed),
+            filter_probes: read(&self.filter_probes),
+            filter_positives: read(&self.filter_positives),
+            filter_negatives: read(&self.filter_negatives),
+            false_positives: read(&self.false_positives),
+            blocks_read: read(&self.blocks_read),
+            filter_probe_ns: read(&self.filter_probe_ns),
+            io_wait_ns: read(&self.io_wait_ns),
+            cpu_ns: read(&self.cpu_ns),
+            filters_quarantined: read(&self.filters_quarantined),
+            filters_rebuilt: read(&self.filters_rebuilt),
+            tail_ssts_skipped: read(&self.tail_ssts_skipped),
+            read_retries: read(&self.read_retries),
+            persist_failures: read(&self.persist_failures),
+            tree_probes: read(&self.tree_probes),
+            ssts_pruned: read(&self.ssts_pruned),
+            ssts_probed: read(&self.ssts_probed),
+            tree_rebuilds: read(&self.tree_rebuilds),
+            unpersisted_ssts: read(&self.unpersisted_ssts),
         }
     }
 }

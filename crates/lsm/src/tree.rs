@@ -246,6 +246,45 @@ impl FilterTree {
             }
             self.levels[height][idx].absorb(&keys);
         }
+        debug_assert_eq!(
+            self.num_leaves(),
+            ssts.len(),
+            "push_leaf must leave exactly one leaf per SST"
+        );
+        self.debug_check_shape();
+    }
+
+    /// Structural invariants every tree mutation must restore: the level
+    /// count matches the leaf count, and inner level `h` holds exactly
+    /// `ceil(leaves / fanout^h)` nodes — one per (possibly partial) span.
+    /// Debug builds only; a violation here means routing would descend into
+    /// nodes that do not aggregate their children.
+    fn debug_check_shape(&self) {
+        debug_assert_eq!(
+            self.levels.len(),
+            if self.num_leaves() == 0 {
+                self.levels.len().min(1)
+            } else {
+                required_levels(self.num_leaves(), self.fanout)
+            },
+            "level count out of step with the leaf count"
+        );
+        debug_assert!(
+            (1..self.levels.len()).all(|h| {
+                self.levels[h].len()
+                    == self
+                        .num_leaves()
+                        .div_ceil(self.fanout.saturating_pow(h as u32))
+            }),
+            "inner level width must be ceil(leaves / fanout^height)"
+        );
+        debug_assert_eq!(
+            self.live_leaves,
+            self.levels
+                .first()
+                .map_or(0, |l| l.iter().filter(|n| n.live).count()),
+            "live-leaf count out of step with the leaf level"
+        );
     }
 
     /// Build the leaf node for one SST. When the SST's own filter block is a
@@ -363,6 +402,12 @@ impl FilterTree {
             }
             self.levels = levels;
         }
+        debug_assert_eq!(
+            self.num_leaves(),
+            ssts.len(),
+            "retire_and_splice must leave one leaf per post-splice SST"
+        );
+        self.debug_check_shape();
         stats.record_tree_rebuild();
     }
 

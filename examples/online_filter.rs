@@ -36,11 +36,14 @@ fn main() {
             std::thread::spawn(move || {
                 let mut positives = 0usize;
                 let mut i = t as u64;
+                // ordering: stop flag and lookup counter are advisory — a
+                // few extra loop turns or a slightly stale count are fine.
                 while !stop.load(Ordering::Relaxed) {
                     let key = bloomrf::hashing::mix64(i % n_keys);
                     if filter.contains_point(key) {
                         positives += 1;
                     }
+                    // ordering: telemetry counter, see above.
                     if filter.contains_range(key, key.saturating_add(1 << 16)) {
                         positives += 1;
                     }
@@ -54,6 +57,7 @@ fn main() {
 
     let insert_time = writer.join().expect("writer");
     std::thread::sleep(Duration::from_millis(100));
+    // ordering: the joins below are the real synchronization points.
     stop.store(true, Ordering::Relaxed);
     for r in readers {
         let _ = r.join().expect("reader");
@@ -64,6 +68,7 @@ fn main() {
         n_keys,
         insert_time.as_secs_f64(),
         n_keys as f64 / insert_time.as_secs_f64() / 1e6,
+        // ordering: readers are joined; this is the final counter value.
         lookups_done.load(Ordering::Relaxed),
     );
 

@@ -1,0 +1,405 @@
+//! Offline loom-style model checker shim.
+//!
+//! An API-compatible subset of [loom](https://docs.rs/loom) (plus the pieces
+//! of [shuttle](https://docs.rs/shuttle) we want — preemption bounding and an
+//! iteration [`Report`]), small enough to vendor and with no dependencies.
+//! Code written against [`sync`] and [`thread`] behaves exactly like
+//! `std`/`parking_lot` outside a model execution, and becomes a fully
+//! instrumented, deterministically schedulable model inside [`model`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use shuttle_loom::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let report = shuttle_loom::Builder::new().check(|| {
+//!     let x = Arc::new(AtomicU64::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let t = shuttle_loom::thread::spawn(move || {
+//!         x2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     x.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(x.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(report.exhausted, "all interleavings explored");
+//! ```
+//!
+//! # How it works
+//!
+//! Every execution runs the closure as task 0 on a fresh OS thread; spawned
+//! tasks get their own threads too, but a cooperative token (handed around by
+//! the internal scheduler) ensures at most one task executes between scheduling
+//! points. Each visible operation — atomic access, lock acquire, spawn, join
+//! — is a scheduling point where the scheduler consults a replay vector and
+//! records `(options, chosen)`. After an execution finishes, the explorer
+//! advances the deepest decision that still has an untried option
+//! (depth-first search over the schedule tree) and replays; when no decision
+//! can be advanced the space is exhausted.
+//!
+//! Supported knobs on [`Builder`]:
+//! - `preemption_bound`: CHESS-style bound on *involuntary* context switches
+//!   per execution. Most real bugs need ≤ 2 preemptions; bounding keeps big
+//!   models polynomial instead of exponential.
+//! - `max_iterations` / `max_steps`: hard caps so a model can never wedge CI.
+//!
+//! # Fidelity
+//!
+//! The model explores sequentially consistent interleavings only: no weak
+//! memory reordering is simulated (see `docs/concurrency.md` in the repo
+//! root for the division of labour between this checker, ThreadSanitizer and
+//! the lock-rank checker), `compare_exchange_weak` never fails spuriously,
+//! and `std::sync` primitives used *outside* the [`sync`] facade are
+//! invisible to the scheduler.
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+
+use scheduler::{Cancelled, Scheduler};
+
+// ---------------------------------------------------------------------------
+// Ambient execution context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_current(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The scheduler and task id of the calling thread, if it is a model task.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Task id of the calling thread *on this specific scheduler* (guards against
+/// handles crossing between nested/unrelated executions).
+pub(crate) fn current_task_on(sched: &Arc<Scheduler>) -> Option<usize> {
+    current().and_then(|(s, id)| Arc::ptr_eq(&s, sched).then_some(id))
+}
+
+/// Scheduling point if inside a model, no-op otherwise.
+pub(crate) fn maybe_yield() {
+    if let Some((sched, me)) = current() {
+        sched.yield_point(me);
+    }
+}
+
+/// Scheduling point if inside a model, `fallback` otherwise.
+pub(crate) fn maybe_yield_or(fallback: fn()) {
+    match current() {
+        Some((sched, me)) => sched.yield_point(me),
+        None => fallback(),
+    }
+}
+
+static NEXT_RESOURCE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Fresh id for a lock resource. Process-global so locks created outside the
+/// model (or shared between executions) can never collide.
+pub(crate) fn next_resource_id() -> u64 {
+    // ordering: process-wide unique-id counter; only uniqueness matters.
+    NEXT_RESOURCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Suppress panic reports for the internal `Cancelled` payload used to tear
+/// down cancelled executions; real panics still reach the previous hook.
+fn install_panic_filter() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Cancelled>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Outcome of a [`Builder::check`] run that did not fail.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of executions (distinct schedules) explored.
+    pub iterations: usize,
+    /// True when the whole (bounded) schedule space was explored; false when
+    /// the run stopped at `max_iterations` first.
+    pub exhausted: bool,
+}
+
+/// Configuration for a model-checking run.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum involuntary context switches per execution (`None` = no
+    /// bound, full DFS).
+    pub preemption_bound: Option<usize>,
+    /// Stop after this many executions even if schedules remain.
+    pub max_iterations: usize,
+    /// Fail an execution that exceeds this many scheduling points.
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_iterations: 500_000,
+            max_steps: 200_000,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explore schedules of `f` until the space is exhausted or a cap is
+    /// hit. Panics (with the failing schedule) if any execution panics,
+    /// deadlocks, or exceeds `max_steps`.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_filter();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let sched = Arc::new(Scheduler::new(
+                std::mem::take(&mut prefix),
+                self.preemption_bound,
+                self.max_steps,
+            ));
+            let root = sched.register_task();
+            debug_assert_eq!(root, 0);
+            let (sched2, f2) = (Arc::clone(&sched), Arc::clone(&f));
+            std::thread::spawn(move || thread::task_main(sched2, 0, move || f2()));
+            let (failure, decisions) = sched.driver_wait();
+            if let Some(msg) = failure {
+                let schedule: Vec<usize> = decisions.iter().map(|&(_, c)| c).collect();
+                panic!(
+                    "shuttle_loom: model failed on iteration {iterations}: {msg}\n  \
+                     failing schedule (decision indices): {schedule:?}"
+                );
+            }
+            match next_prefix(decisions) {
+                Some(p) => prefix = p,
+                None => {
+                    return Report {
+                        iterations,
+                        exhausted: true,
+                    }
+                }
+            }
+            if iterations >= self.max_iterations {
+                return Report {
+                    iterations,
+                    exhausted: false,
+                };
+            }
+        }
+    }
+}
+
+/// Advance the DFS: bump the deepest decision that still has an untried
+/// option and truncate everything after it. `None` when the tree is spent.
+fn next_prefix(mut decisions: Vec<(usize, usize)>) -> Option<Vec<usize>> {
+    while let Some(&(options, chosen)) = decisions.last() {
+        if chosen + 1 < options {
+            let n = decisions.len();
+            decisions[n - 1].1 += 1;
+            return Some(decisions.into_iter().map(|(_, c)| c).collect());
+        }
+        decisions.pop();
+    }
+    None
+}
+
+/// Exhaustively explore all interleavings of `f` with default settings,
+/// loom-style. See [`Builder`] for bounded exploration.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Mutex, RwLock};
+    use super::*;
+
+    #[test]
+    fn next_prefix_walks_the_tree() {
+        assert_eq!(next_prefix(vec![(1, 0), (2, 0)]), Some(vec![0, 1]));
+        assert_eq!(next_prefix(vec![(1, 0), (2, 1)]), None);
+        assert_eq!(next_prefix(vec![(3, 1), (2, 1)]), Some(vec![2]));
+        assert_eq!(next_prefix(vec![]), None);
+    }
+
+    #[test]
+    fn single_thread_model_runs_once() {
+        let report = model(|| {
+            let x = AtomicU64::new(1);
+            x.fetch_add(2, Ordering::Relaxed);
+            assert_eq!(x.load(Ordering::Relaxed), 3);
+        });
+        assert!(report.exhausted);
+        assert_eq!(report.iterations, 1);
+    }
+
+    #[test]
+    fn two_increments_explore_multiple_schedules() {
+        let report = model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || {
+                x2.fetch_add(1, Ordering::Relaxed);
+            });
+            x.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(x.load(Ordering::Relaxed), 2);
+        });
+        assert!(report.exhausted);
+        assert!(
+            report.iterations > 1,
+            "expected >1 interleavings, got {}",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn finds_lost_update_from_nonatomic_rmw() {
+        // load + store is not an atomic increment: the model must find the
+        // schedule where both threads read 0 and one update is lost.
+        let result = std::panic::catch_unwind(|| {
+            model(|| {
+                let x = Arc::new(AtomicU64::new(0));
+                let x2 = Arc::clone(&x);
+                let t = thread::spawn(move || {
+                    let v = x2.load(Ordering::SeqCst);
+                    x2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = x.load(Ordering::SeqCst);
+                x.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(x.load(Ordering::SeqCst), 2, "lost update");
+            })
+        });
+        assert!(result.is_err(), "model missed the lost-update schedule");
+    }
+
+    #[test]
+    fn mutex_protects_compound_update() {
+        let report = model(|| {
+            let x = Arc::new(Mutex::new(0u64));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || {
+                let mut g = x2.lock().unwrap();
+                *g += 1;
+            });
+            {
+                let mut g = x.lock().unwrap();
+                *g += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*x.lock().unwrap(), 2);
+        });
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn detects_lock_order_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                t.join().unwrap();
+            })
+        });
+        let msg = match result {
+            Ok(_) => panic!("model missed the ab/ba deadlock"),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+        };
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let report = model(|| {
+            let x = Arc::new(RwLock::new(7u64));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || *x2.read().unwrap());
+            let mine = *x.read().unwrap();
+            let theirs = t.join().unwrap();
+            assert_eq!((mine, theirs), (7, 7));
+        });
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn preemption_bound_shrinks_exploration() {
+        let run = |bound| {
+            Builder {
+                preemption_bound: bound,
+                ..Builder::new()
+            }
+            .check(|| {
+                let x = Arc::new(AtomicU64::new(0));
+                let x2 = Arc::clone(&x);
+                let t = thread::spawn(move || {
+                    for _ in 0..4 {
+                        x2.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                for _ in 0..4 {
+                    x.fetch_add(1, Ordering::Relaxed);
+                }
+                t.join().unwrap();
+                assert_eq!(x.load(Ordering::Relaxed), 8);
+            })
+        };
+        let full = run(None);
+        let bounded = run(Some(1));
+        assert!(full.exhausted && bounded.exhausted);
+        assert!(
+            bounded.iterations < full.iterations,
+            "bound 1 ({}) should explore fewer schedules than full DFS ({})",
+            bounded.iterations,
+            full.iterations
+        );
+    }
+
+    #[test]
+    fn plain_behaviour_outside_model() {
+        // No scheduler active: everything is plain std behaviour.
+        let x = AtomicU64::new(0);
+        x.store(5, Ordering::SeqCst);
+        assert_eq!(x.load(Ordering::SeqCst), 5);
+        let m = Mutex::new(3u64);
+        assert_eq!(*m.lock().unwrap(), 3);
+        let t = thread::spawn(|| 42u64);
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,360 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Every task of a model execution runs on its own OS thread, but at most one
+//! task is *runnable on the CPU* at any instant: a task owns the execution
+//! token (`SchedState::current`) or it is parked on the scheduler condvar.
+//! Each visible operation (atomic access, lock acquire/release boundary,
+//! spawn, join) calls back into the scheduler, which consults the replay
+//! schedule recorded by the explorer and decides which task runs next. That
+//! makes executions fully deterministic: replaying the same decision vector
+//! reproduces the same interleaving, which is what lets the explorer walk the
+//! schedule tree depth-first.
+
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to unwind task stacks when an execution is torn down
+/// (failure found, or step budget exhausted). Never escapes the crate: task
+/// wrappers catch it and the global panic hook suppresses its report.
+pub(crate) struct Cancelled;
+
+/// What a blocked task is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Waiting {
+    /// A lock resource (mutex, or rwlock in either mode), by resource id.
+    Lock(u64),
+    /// Another task to finish (`JoinHandle::join`).
+    Task(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(Waiting),
+    Finished,
+}
+
+/// Bookkeeping for one lock resource. A mutex only ever uses `writer`.
+#[derive(Default)]
+struct Res {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+struct SchedState {
+    tasks: Vec<Status>,
+    /// Task currently holding the execution token.
+    current: usize,
+    resources: HashMap<u64, Res>,
+    /// Replay prefix: option index to take at each decision point.
+    schedule: Vec<usize>,
+    /// `(number_of_options, chosen_index)` recorded at each decision point.
+    decisions: Vec<(usize, usize)>,
+    preemptions: usize,
+    steps: usize,
+    failure: Option<String>,
+    cancelling: bool,
+    done: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+}
+
+impl Scheduler {
+    pub fn new(schedule: Vec<usize>, preemption_bound: Option<usize>, max_steps: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                tasks: Vec::new(),
+                current: 0,
+                resources: HashMap::new(),
+                schedule,
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                failure: None,
+                cancelling: false,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+            max_steps,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        // The scheduler's own mutex is internal infrastructure; it is never
+        // poisoned on the non-panicking paths, and on teardown paths we want
+        // to keep going regardless.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Register a new task and return its id. Called by the driver (task 0)
+    /// and by `thread::spawn`.
+    pub fn register_task(&self) -> usize {
+        let mut st = self.lock();
+        st.tasks.push(Status::Runnable);
+        st.tasks.len() - 1
+    }
+
+    fn runnable(st: &SchedState) -> Vec<usize> {
+        st.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the next task among `options` (never empty), honouring the replay
+    /// prefix and recording the decision for the explorer.
+    fn choose(&self, st: &mut SchedState, options: &[usize]) -> usize {
+        let idx = st.decisions.len();
+        let chosen = if idx < st.schedule.len() {
+            let c = st.schedule[idx];
+            assert!(
+                c < options.len(),
+                "shuttle_loom: nondeterministic execution — replay diverged at \
+                 decision {idx} ({} options, schedule wanted index {c}); model \
+                 closures must be deterministic apart from thread interleaving",
+                options.len()
+            );
+            c
+        } else {
+            0
+        };
+        st.decisions.push((options.len(), chosen));
+        options[chosen]
+    }
+
+    /// Park until this task holds the execution token (or the execution is
+    /// being cancelled, in which case unwind).
+    fn wait_for_turn(&self, mut st: MutexGuard<'_, SchedState>, me: usize) {
+        while st.current != me && !st.cancelling {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        if st.cancelling {
+            drop(st);
+            panic_any(Cancelled);
+        }
+    }
+
+    fn fail(&self, st: &mut SchedState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.cancelling = true;
+        self.cv.notify_all();
+    }
+
+    /// Scheduling point: a runnable task is about to perform a visible
+    /// operation. May hand the token to another runnable task (a preemption).
+    pub fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.cancelling {
+            drop(st);
+            panic_any(Cancelled);
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            self.fail(
+                &mut st,
+                format!(
+                    "step limit exceeded ({} scheduling points); raise \
+                     Builder::max_steps or shrink the model",
+                    self.max_steps
+                ),
+            );
+            drop(st);
+            panic_any(Cancelled);
+        }
+        // Option order: continue with the current task first (index 0 is the
+        // default DFS branch and costs no preemption), then the other
+        // runnable tasks in ascending id order.
+        let mut options = vec![me];
+        let bounded = self.preemption_bound.is_some_and(|b| st.preemptions >= b);
+        if !bounded {
+            options.extend(Self::runnable(&st).into_iter().filter(|&t| t != me));
+        }
+        let next = self.choose(&mut st, &options);
+        if next != me {
+            st.preemptions += 1;
+            st.current = next;
+            self.cv.notify_all();
+            self.wait_for_turn(st, me);
+        }
+    }
+
+    /// The current task just blocked (`me` is already marked `Blocked`):
+    /// hand the token to some runnable task and park. A forced switch is not
+    /// a preemption. Returns once `me` is runnable again and holds the token.
+    fn switch_from_blocked(&self, mut st: MutexGuard<'_, SchedState>, me: usize) {
+        let options = Self::runnable(&st);
+        if options.is_empty() {
+            let waiting = match st.tasks[me] {
+                Status::Blocked(w) => w,
+                _ => unreachable!("switch_from_blocked on non-blocked task"),
+            };
+            self.fail(
+                &mut st,
+                format!("deadlock: every live task is blocked (task {me} waiting on {waiting:?})"),
+            );
+            drop(st);
+            panic_any(Cancelled);
+        }
+        let next = self.choose(&mut st, &options);
+        st.current = next;
+        self.cv.notify_all();
+        self.wait_for_turn(st, me);
+    }
+
+    /// Park a task that is waiting for its first turn after spawn.
+    pub fn wait_for_start(&self, me: usize) {
+        let st = self.lock();
+        self.wait_for_turn(st, me);
+    }
+
+    pub fn acquire_write(&self, me: usize, res: u64) {
+        loop {
+            self.yield_point(me);
+            let mut st = self.lock();
+            if st.cancelling {
+                drop(st);
+                panic_any(Cancelled);
+            }
+            let r = st.resources.entry(res).or_default();
+            if r.writer.is_none() && r.readers.is_empty() {
+                r.writer = Some(me);
+                return;
+            }
+            st.tasks[me] = Status::Blocked(Waiting::Lock(res));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    pub fn acquire_read(&self, me: usize, res: u64) {
+        loop {
+            self.yield_point(me);
+            let mut st = self.lock();
+            if st.cancelling {
+                drop(st);
+                panic_any(Cancelled);
+            }
+            let r = st.resources.entry(res).or_default();
+            if r.writer.is_none() {
+                r.readers.push(me);
+                return;
+            }
+            st.tasks[me] = Status::Blocked(Waiting::Lock(res));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    fn wake_lock_waiters(st: &mut SchedState, res: u64) {
+        for s in st.tasks.iter_mut() {
+            if *s == Status::Blocked(Waiting::Lock(res)) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    pub fn release_write(&self, me: usize, res: u64) {
+        let mut st = self.lock();
+        let r = st.resources.entry(res).or_default();
+        debug_assert_eq!(r.writer, Some(me), "release_write by non-holder");
+        r.writer = None;
+        Self::wake_lock_waiters(&mut st, res);
+        self.cv.notify_all();
+    }
+
+    pub fn release_read(&self, me: usize, res: u64) {
+        let mut st = self.lock();
+        let r = st.resources.entry(res).or_default();
+        if let Some(pos) = r.readers.iter().position(|&t| t == me) {
+            r.readers.swap_remove(pos);
+        } else {
+            debug_assert!(false, "release_read by non-holder");
+        }
+        Self::wake_lock_waiters(&mut st, res);
+        self.cv.notify_all();
+    }
+
+    /// Block until `target` finishes.
+    pub fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            self.yield_point(me);
+            let mut st = self.lock();
+            if st.cancelling {
+                drop(st);
+                panic_any(Cancelled);
+            }
+            if st.tasks[target] == Status::Finished {
+                return;
+            }
+            st.tasks[me] = Status::Blocked(Waiting::Task(target));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    /// Record a user panic (assertion failure inside the model) as the
+    /// execution's failure and start tearing the execution down.
+    pub fn report_panic(&self, msg: String) {
+        let mut st = self.lock();
+        self.fail(&mut st, msg);
+    }
+
+    /// Called by every task on its way out (normal return, user panic, or
+    /// cancellation). Must not panic.
+    pub fn task_finished(&self, me: usize) {
+        let mut st = self.lock();
+        st.tasks[me] = Status::Finished;
+        for s in st.tasks.iter_mut() {
+            if *s == Status::Blocked(Waiting::Task(me)) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.tasks.iter().all(|s| *s == Status::Finished) {
+            st.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.cancelling {
+            self.cv.notify_all();
+            return;
+        }
+        let options = Self::runnable(&st);
+        if options.is_empty() {
+            self.fail(
+                &mut st,
+                format!("deadlock: task {me} finished but every remaining task is blocked"),
+            );
+            return;
+        }
+        let next = self.choose(&mut st, &options);
+        st.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Driver side: wait until every task has finished, then collect the
+    /// outcome of the execution.
+    pub fn driver_wait(&self) -> (Option<String>, Vec<(usize, usize)>) {
+        let mut st = self.lock();
+        while !st.done {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        (st.failure.clone(), std::mem::take(&mut st.decisions))
+    }
+}

@@ -1,0 +1,423 @@
+//! Model-aware `Mutex`, `RwLock`, and atomics.
+//!
+//! All types are thin wrappers over their `std::sync` counterparts. Outside a
+//! model execution they delegate directly (same semantics, near-zero
+//! overhead). Inside [`crate::model`] every acquire/release and every atomic
+//! access first reports to the scheduler, which (a) turns the operation into
+//! an explorable scheduling point and (b) tracks lock ownership so blocking
+//! is cooperative — the real `std` lock is only ever taken when the model
+//! bookkeeping has already granted it, so it can never block the OS thread.
+//!
+//! ## Fidelity
+//!
+//! The checker explores *sequentially consistent interleavings* of the
+//! visible operations: it does not simulate weak-memory reorderings, so an
+//! `Ordering::Relaxed` bug that only manifests as a store/load reordering on
+//! real hardware is out of scope (that is ThreadSanitizer's job — see
+//! `docs/concurrency.md`). `compare_exchange_weak` never fails spuriously
+//! under the model. What the model does catch: lost updates, atomicity
+//! violations between compound operations, ordering assumptions between
+//! threads, deadlocks, and assertion failures on any explored schedule.
+
+use std::sync::PoisonError;
+
+use crate::next_resource_id;
+
+/// `std::sync::LockResult`: the model path never poisons.
+pub type LockResult<T> = std::result::Result<T, PoisonError<T>>;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-aware mutual-exclusion lock with the `std::sync::Mutex` API.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Bookkeeping is released in `Drop` *after* the real guard.
+    model: Option<(std::sync::Arc<crate::scheduler::Scheduler>, usize, u64)>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        // Not derived: every lock needs a fresh resource id.
+        Self::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: next_resource_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((sched, me)) = crate::current() {
+            sched.acquire_write(me, self.id);
+            let g = self
+                .inner
+                .try_lock()
+                .expect("shuttle_loom: model granted a mutex that is really held");
+            Ok(MutexGuard {
+                model: Some((sched, me, self.id)),
+                inner: Some(g),
+            })
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    model: None,
+                    inner: Some(g),
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    model: None,
+                    inner: Some(p.into_inner()),
+                })),
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the real guard before releasing the model bookkeeping so the
+        // next task granted the lock can always `try_lock` successfully.
+        self.inner = None;
+        if let Some((sched, me, id)) = self.model.take() {
+            sched.release_write(me, id);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Model-aware reader-writer lock with the `std::sync::RwLock` API.
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    id: u64,
+    inner: std::sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    model: Option<(std::sync::Arc<crate::scheduler::Scheduler>, usize, u64)>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    model: Option<(std::sync::Arc<crate::scheduler::Scheduler>, usize, u64)>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        // Not derived: every lock needs a fresh resource id.
+        Self::new(T::default())
+    }
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: next_resource_id(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some((sched, me)) = crate::current() {
+            sched.acquire_read(me, self.id);
+            let g = self
+                .inner
+                .try_read()
+                .expect("shuttle_loom: model granted a read lock that is really write-held");
+            Ok(RwLockReadGuard {
+                model: Some((sched, me, self.id)),
+                inner: Some(g),
+            })
+        } else {
+            match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    model: None,
+                    inner: Some(g),
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    model: None,
+                    inner: Some(p.into_inner()),
+                })),
+            }
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some((sched, me)) = crate::current() {
+            sched.acquire_write(me, self.id);
+            let g = self
+                .inner
+                .try_write()
+                .expect("shuttle_loom: model granted a write lock that is really held");
+            Ok(RwLockWriteGuard {
+                model: Some((sched, me, self.id)),
+                inner: Some(g),
+            })
+        } else {
+            match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    model: None,
+                    inner: Some(g),
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    model: None,
+                    inner: Some(p.into_inner()),
+                })),
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((sched, me, id)) = self.model.take() {
+            sched.release_read(me, id);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((sched, me, id)) = self.model.take() {
+            sched.release_write(me, id);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Model-aware atomic integer/bool types. Each access is a scheduling point;
+/// the operation itself executes on the real `std` atomic (tasks run one at a
+/// time, so the model semantics are sequentially consistent regardless of the
+/// `Ordering` argument — see the module docs for what that does and does not
+/// verify).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $std:ident, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub fn new(v: $prim) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    crate::maybe_yield();
+                    self.inner.store(v, order)
+                }
+
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.swap(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.fetch_or(v, order)
+                }
+
+                pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.fetch_and(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.fetch_max(v, order)
+                }
+
+                pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::maybe_yield();
+                    self.inner.fetch_min(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    crate::maybe_yield();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Like `compare_exchange`; the model never fails spuriously.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    crate::maybe_yield();
+                    self.inner
+                        .compare_exchange_weak(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(AtomicU32, AtomicU32, u32);
+    model_atomic_int!(AtomicU64, AtomicU64, u64);
+    model_atomic_int!(AtomicUsize, AtomicUsize, usize);
+    model_atomic_int!(AtomicI64, AtomicI64, i64);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            crate::maybe_yield();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            crate::maybe_yield();
+            self.inner.store(v, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            crate::maybe_yield();
+            self.inner.swap(v, order)
+        }
+
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            crate::maybe_yield();
+            self.inner.fetch_or(v, order)
+        }
+
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            crate::maybe_yield();
+            self.inner.fetch_and(v, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            crate::maybe_yield();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+    }
+}

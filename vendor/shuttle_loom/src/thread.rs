@@ -1,0 +1,118 @@
+//! Model-aware replacement for the subset of `std::thread` the repo uses.
+//!
+//! Inside [`crate::model`], `spawn` registers a task with the active
+//! scheduler and the new OS thread waits for the execution token before
+//! running the closure. Outside a model execution everything delegates to
+//! `std::thread`, so code written against this module behaves identically in
+//! ordinary builds and tests.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+use crate::scheduler::{Cancelled, Scheduler};
+
+/// `std::thread::Result`: `Err` carries the panic payload.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<Scheduler>,
+        id: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread or model task.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread/task to finish and return its result. Inside a
+    /// model, a panicking task fails the whole execution, so the `Err` case
+    /// is only observable on the way down.
+    pub fn join(self) -> Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { sched, id, slot } => {
+                let me = crate::current_task_on(&sched)
+                    .expect("shuttle_loom: joined a model JoinHandle from outside the model");
+                sched.join_wait(me, id);
+                let v = match slot.lock() {
+                    Ok(mut g) => g.take(),
+                    Err(p) => p.into_inner().take(),
+                };
+                match v {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model task panicked")),
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
+    }
+}
+
+/// Body of every model task's OS thread: wait for the first turn, run the
+/// closure, report panics, and always hand control back to the scheduler.
+pub(crate) fn task_main(sched: Arc<Scheduler>, id: usize, body: impl FnOnce()) {
+    crate::set_current(Some((Arc::clone(&sched), id)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched.wait_for_start(id);
+        body();
+    }));
+    if let Err(payload) = result {
+        if !payload.is::<Cancelled>() {
+            sched.report_panic(panic_message(payload.as_ref()));
+        }
+    }
+    sched.task_finished(id);
+    crate::set_current(None);
+}
+
+/// Spawn a thread (model task inside [`crate::model`], OS thread otherwise).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((sched, me)) = crate::current() {
+        let id = sched.register_task();
+        let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let (sched2, slot2) = (Arc::clone(&sched), Arc::clone(&slot));
+        std::thread::spawn(move || {
+            task_main(Arc::clone(&sched2), id, move || {
+                let v = f();
+                match slot2.lock() {
+                    Ok(mut g) => *g = Some(v),
+                    Err(p) => *p.into_inner() = Some(v),
+                }
+            });
+        });
+        // Spawn is itself a visible operation: give the explorer a chance to
+        // run the child before the parent's next step.
+        sched.yield_point(me);
+        JoinHandle {
+            inner: Inner::Model { sched, id, slot },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// Cooperative yield: a pure scheduling point inside the model, a real
+/// `std::thread::yield_now` outside it.
+pub fn yield_now() {
+    crate::maybe_yield_or(std::thread::yield_now);
+}
