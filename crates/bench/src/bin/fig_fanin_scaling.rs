@@ -15,14 +15,15 @@
 //!
 //! Besides the usual `results/fig_fanin_scaling.csv`, the run emits a
 //! committed JSON snapshot — the repo's first recorded perf trajectory
-//! (ROADMAP item 3). Schema `fanin_scaling_v1`:
+//! (ROADMAP item 3). Schema `fanin_scaling_v2`:
 //!
 //! ```json
 //! {
-//!   "snapshot": "fanin_scaling_v1",
+//!   "snapshot": "fanin_scaling_v2",
 //!   "config": { "keys_per_segment": .., "bits_per_key": ..,
 //!               "fanout": .., "point_queries": .., "range_queries": .. },
 //!   "rows": [ { "segments": .., "routing": "scan|tree",
+//!               "skipped": false,                  // true under QUICK caps
 //!               "filters_probed_per_lookup": ..,   // per-SST + tree nodes
 //!               "ssts_probed_per_lookup": ..,      // tables selected
 //!               "ssts_pruned_per_lookup": ..,      // tables never touched
@@ -31,6 +32,12 @@
 //!               "tree_levels": .., "tree_nodes": .. }, .. ]
 //! }
 //! ```
+//!
+//! Every row of the sweep appears in every snapshot: a `QUICK=1` run emits
+//! the rows it did not measure (today: 10 000 segments) with
+//! `"skipped": true` and `null` metrics instead of dropping them, so QUICK
+//! and full snapshots stay structurally diffable (v1 silently truncated the
+//! sweep, which made a QUICK snapshot look like a regression in row count).
 //!
 //! The snapshot path defaults to `BENCH_fanin.json` in the working
 //! directory (the workspace root under `cargo run`); override with the
@@ -128,11 +135,10 @@ fn main() {
     let scale = ExpScale::from_env();
     let n_points = scale.queries(2_000);
     let n_ranges = scale.queries(1_000);
-    let sweep: &[usize] = if scale.quick {
-        &[10, 100, 1_000] // CI smoke: ≤ 1k segments
-    } else {
-        &[10, 100, 1_000, 10_000]
-    };
+    // The sweep is identical in all modes; QUICK only caps what is
+    // *measured* (rows past the cap are emitted as skipped).
+    let sweep: &[usize] = &[10, 100, 1_000, 10_000];
+    let quick_cap = 1_000;
 
     let mut report = Report::new(
         "fig_fanin_scaling",
@@ -163,6 +169,34 @@ fn main() {
                 }),
             ),
         ] {
+            if scale.quick && segments > quick_cap {
+                // Keep the row set identical to a full run: emit the row,
+                // mark it skipped, measure nothing.
+                report.push(&[
+                    segments.to_string(),
+                    label.to_string(),
+                    "skipped".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+                json_rows.push(format!(
+                    "    {{ \"segments\": {segments}, \"routing\": \"{label}\", \
+                     \"skipped\": true, \
+                     \"filters_probed_per_lookup\": null, \
+                     \"ssts_probed_per_lookup\": null, \
+                     \"ssts_pruned_per_lookup\": null, \
+                     \"pruning_ratio\": null, \
+                     \"point_ns_per_lookup\": null, \
+                     \"range_ns_per_lookup\": null, \
+                     \"tree_levels\": null, \"tree_nodes\": null }}",
+                ));
+                continue;
+            }
             let db = build_db(segments, routing);
             let row = run(&db, segments, n_points, n_ranges);
             report.push(&[
@@ -179,6 +213,7 @@ fn main() {
             ]);
             json_rows.push(format!(
                 "    {{ \"segments\": {segments}, \"routing\": \"{label}\", \
+                 \"skipped\": false, \
                  \"filters_probed_per_lookup\": {:.2}, \
                  \"ssts_probed_per_lookup\": {:.2}, \
                  \"ssts_pruned_per_lookup\": {:.2}, \
@@ -200,7 +235,7 @@ fn main() {
     report.finish();
 
     let snapshot = format!(
-        "{{\n  \"snapshot\": \"fanin_scaling_v1\",\n  \"config\": {{ \
+        "{{\n  \"snapshot\": \"fanin_scaling_v2\",\n  \"config\": {{ \
          \"keys_per_segment\": {KEYS_PER_SEGMENT}, \"bits_per_key\": {BITS_PER_KEY}, \
          \"fanout\": {FANOUT}, \"point_queries\": {n_points}, \
          \"range_queries\": {n_ranges} }},\n  \"rows\": [\n{}\n  ]\n}}\n",

@@ -1,0 +1,386 @@
+//! Probe-kernel microbenchmark: the scalar reference loop vs the
+//! word-parallel kernel vs the prefetching kernel (see
+//! `docs/probe-kernel.md`), measured honestly — explicit warm-up, Tukey
+//! outlier rejection and a 95% confidence interval per cell, via the same
+//! [`bloomrf_bench::SampleStats`] pipeline the criterion shim reports with.
+//!
+//! Four experiments in one binary:
+//!
+//! 1. **Probe sweep** — point and range batches across key counts, space
+//!    budgets, batch sizes and kernel tiers. This is the evidence for the
+//!    batched-lookup speedup claim and the regression surface
+//!    `cargo run -p xtask -- bench-check` guards.
+//! 2. **Layout A/B** — `WordLayout::Forward` vs `WordLayout::Alternating`
+//!    at the headline configuration, backing the measured default in
+//!    [`bloomrf::BloomRfConfig`].
+//! 3. **Insert threshold** — `insert_batch` with the sort+dedup path forced
+//!    on vs off across segment sizes, backing the measured
+//!    [`bloomrf::filter::SORT_THRESHOLD_BITS`] default.
+//! 4. **Headline** — scalar vs default-tier kernel at 64-key batches and
+//!    16 bits/key, reported as a single speedup number.
+//!
+//! Run with: `cargo run --release --bin fig_probe_kernel`
+//! (`QUICK=1` measures a reduced grid; unmeasured rows are emitted with
+//! `"skipped": true` so QUICK and full snapshots stay diffable.)
+//!
+//! # Snapshot format (`BENCH_probe_kernel.json`)
+//!
+//! Schema `probe_kernel_v1`:
+//!
+//! ```json
+//! {
+//!   "snapshot": "probe_kernel_v1",
+//!   "config": { "samples": .., "quick": .., "queries_per_run": ..,
+//!               "range_width": .., "default_tier": "scalar|word|prefetch" },
+//!   "probe_rows": [ { "keys": .., "bits_per_key": .., "batch": ..,
+//!                     "tier": "scalar|word|prefetch",
+//!                     "mode": "point|range", "skipped": false,
+//!                     "ns_per_op": .., "min_ns_per_op": ..,
+//!                     "ci95_ns": .., "outliers": .. }, .. ],
+//!   "layout_rows": [ { "layout": "forward|alternating", "tier": ..,
+//!                      "skipped": false, "ns_per_op": .., .. }, .. ],
+//!   "insert_rows": [ { "segment_bits": .., "strategy": "sorted|unsorted",
+//!                      "skipped": false, "ns_per_key": .., .. }, .. ],
+//!   "headline": { "keys": .., "bits_per_key": 16, "batch": 64,
+//!                 "mode": "point", "scalar_ns": .., "kernel_ns": ..,
+//!                 "speedup": .. }
+//! }
+//! ```
+//!
+//! The snapshot path defaults to `BENCH_probe_kernel.json` in the working
+//! directory; override with the `BENCH_SNAPSHOT` environment variable.
+
+use bloomrf::hashing::WordLayout;
+use bloomrf::{BloomRf, BloomRfConfig, KernelTier, ProbeScratch};
+use bloomrf_bench::{measure_ns_per_op, sig, ExpScale, Report, SampleStats};
+
+/// Deterministic multiplicative permutation: unique pseudo-random keys.
+fn key_of(j: u64) -> u64 {
+    j.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Level distance of the basic configuration under test.
+const DELTA: u32 = 7;
+/// Inclusive width of every range query.
+const RANGE_WIDTH: u64 = 1 << 10;
+
+fn build_filter(n_keys: usize, bits_per_key: f64, layout: WordLayout) -> BloomRf {
+    let config = BloomRfConfig::basic(64, n_keys, bits_per_key, DELTA)
+        .expect("basic config")
+        .with_word_layout(layout);
+    let filter = BloomRf::new(config).expect("filter");
+    let keys: Vec<u64> = (0..n_keys as u64).map(key_of).collect();
+    filter.insert_batch(&keys);
+    filter
+}
+
+/// Half present, half absent probe keys (absent keys are permutation values
+/// past the loaded prefix — distinct from every present key).
+fn probe_keys(n_keys: usize, n_queries: usize) -> Vec<u64> {
+    (0..n_queries as u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                key_of(i.wrapping_mul(7919) % n_keys as u64)
+            } else {
+                key_of(n_keys as u64 + i)
+            }
+        })
+        .collect()
+}
+
+/// Ranges of width [`RANGE_WIDTH`], half anchored just below a present key,
+/// half at absent keys (empty with near certainty in a 2^64 domain).
+fn probe_ranges(n_keys: usize, n_queries: usize) -> Vec<(u64, u64)> {
+    probe_keys(n_keys, n_queries)
+        .into_iter()
+        .map(|lo| (lo, lo.saturating_add(RANGE_WIDTH)))
+        .collect()
+}
+
+/// Time point batches of size `batch` over the whole query set at `tier`.
+fn time_points(
+    filter: &BloomRf,
+    queries: &[u64],
+    batch: usize,
+    tier: KernelTier,
+    samples: usize,
+) -> SampleStats {
+    let mut scratch = ProbeScratch::new();
+    let mut out: Vec<bool> = Vec::new();
+    measure_ns_per_op(queries.len(), samples, || {
+        for chunk in queries.chunks(batch) {
+            filter.contains_point_batch_with(chunk, &mut out, &mut scratch, tier);
+            std::hint::black_box(&out);
+        }
+    })
+}
+
+/// Time range batches of size `batch` over the whole query set at `tier`.
+fn time_ranges(
+    filter: &BloomRf,
+    queries: &[(u64, u64)],
+    batch: usize,
+    tier: KernelTier,
+    samples: usize,
+) -> SampleStats {
+    let mut out: Vec<bool> = Vec::new();
+    measure_ns_per_op(queries.len(), samples, || {
+        for chunk in queries.chunks(batch) {
+            filter.contains_range_batch_with(chunk, &mut out, tier);
+            std::hint::black_box(&out);
+        }
+    })
+}
+
+fn stats_json(stats: &SampleStats, value_key: &str) -> String {
+    format!(
+        "\"{value_key}\": {:.2}, \"min_ns_per_op\": {:.2}, \
+         \"ci95_ns\": {:.2}, \"outliers\": {}",
+        stats.mean_ns, stats.min_ns, stats.ci95_ns, stats.outliers
+    )
+}
+
+fn skipped_json(value_key: &str) -> String {
+    format!(
+        "\"{value_key}\": null, \"min_ns_per_op\": null, \
+         \"ci95_ns\": null, \"outliers\": null"
+    )
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let samples = if scale.quick { 3 } else { 10 };
+    let n_queries = scale.queries(100_000);
+    let default_tier = KernelTier::detect();
+
+    let key_counts: &[usize] = &[100_000, 1_000_000, 4_000_000];
+    let budgets: &[f64] = &[10.0, 16.0];
+    let batches: &[usize] = &[16, 64, 256];
+    let tiers: &[KernelTier] = &[
+        KernelTier::Scalar,
+        KernelTier::WordParallel,
+        KernelTier::Prefetch,
+    ];
+    // QUICK measures one filter configuration and one batch size; every
+    // other cell is emitted as skipped so the row sets stay identical.
+    let measure_cell = |keys: usize, batch: usize| !scale.quick || (keys == 100_000 && batch == 64);
+
+    let mut report = Report::new(
+        "fig_probe_kernel",
+        &[
+            "keys",
+            "bits_per_key",
+            "batch",
+            "tier",
+            "mode",
+            "ns_per_op",
+            "min_ns",
+            "ci95_ns",
+        ],
+    );
+    let mut probe_rows: Vec<String> = Vec::new();
+    let mut headline: Option<String> = None;
+    // Speedup reference cell: 64-key batches at 16 bits/key (the claim the
+    // committed snapshot documents) at the largest measured key count — the
+    // out-of-cache regime a prefetching kernel exists for.
+    let headline_keys = if scale.quick { 100_000 } else { 4_000_000 };
+
+    for &n_keys in key_counts {
+        for &bits_per_key in budgets {
+            let needs_filter = batches.iter().any(|&b| measure_cell(n_keys, b));
+            let filter =
+                needs_filter.then(|| build_filter(n_keys, bits_per_key, WordLayout::Forward));
+            let points = probe_keys(n_keys, n_queries);
+            let ranges = probe_ranges(n_keys, n_queries);
+            for &batch in batches {
+                let mut cell: Vec<(KernelTier, &str, Option<SampleStats>)> = Vec::new();
+                for &tier in tiers {
+                    if let (true, Some(f)) = (measure_cell(n_keys, batch), filter.as_ref()) {
+                        cell.push((
+                            tier,
+                            "point",
+                            Some(time_points(f, &points, batch, tier, samples)),
+                        ));
+                        cell.push((
+                            tier,
+                            "range",
+                            Some(time_ranges(f, &ranges, batch, tier, samples)),
+                        ));
+                    } else {
+                        cell.push((tier, "point", None));
+                        cell.push((tier, "range", None));
+                    }
+                }
+                for (tier, mode, stats) in &cell {
+                    match stats {
+                        Some(s) => {
+                            report.push(&[
+                                n_keys.to_string(),
+                                bits_per_key.to_string(),
+                                batch.to_string(),
+                                tier.to_string(),
+                                mode.to_string(),
+                                sig(s.mean_ns),
+                                sig(s.min_ns),
+                                sig(s.ci95_ns),
+                            ]);
+                            probe_rows.push(format!(
+                                "    {{ \"keys\": {n_keys}, \"bits_per_key\": {bits_per_key}, \
+                                 \"batch\": {batch}, \"tier\": \"{tier}\", \"mode\": \"{mode}\", \
+                                 \"skipped\": false, {} }}",
+                                stats_json(s, "ns_per_op"),
+                            ));
+                        }
+                        None => {
+                            report.push(&[
+                                n_keys.to_string(),
+                                bits_per_key.to_string(),
+                                batch.to_string(),
+                                tier.to_string(),
+                                mode.to_string(),
+                                "skipped".to_string(),
+                                "-".to_string(),
+                                "-".to_string(),
+                            ]);
+                            probe_rows.push(format!(
+                                "    {{ \"keys\": {n_keys}, \"bits_per_key\": {bits_per_key}, \
+                                 \"batch\": {batch}, \"tier\": \"{tier}\", \"mode\": \"{mode}\", \
+                                 \"skipped\": true, {} }}",
+                                skipped_json("ns_per_op"),
+                            ));
+                        }
+                    }
+                }
+                // Headline: scalar vs the default kernel tier on this cell.
+                if n_keys == headline_keys
+                    && (bits_per_key - 16.0).abs() < f64::EPSILON
+                    && batch == 64
+                {
+                    let scalar = cell
+                        .iter()
+                        .find(|(t, m, s)| *t == KernelTier::Scalar && *m == "point" && s.is_some());
+                    let kernel = cell
+                        .iter()
+                        .find(|(t, m, s)| *t == default_tier && *m == "point" && s.is_some());
+                    if let (Some((_, _, Some(s))), Some((_, _, Some(k)))) = (scalar, kernel) {
+                        headline = Some(format!(
+                            "  \"headline\": {{ \"keys\": {headline_keys}, \"bits_per_key\": 16, \
+                             \"batch\": 64, \"mode\": \"point\", \"tier\": \"{default_tier}\", \
+                             \"scalar_ns\": {:.2}, \"kernel_ns\": {:.2}, \"speedup\": {:.2} }}",
+                            s.mean_ns,
+                            k.mean_ns,
+                            s.mean_ns / k.mean_ns.max(1e-9),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Layout A/B at the headline configuration: does reversing in-word
+    // offsets for half the prefix space (Alternating) cost anything at
+    // lookup time? Forward is the measured default.
+    let mut layout_rows: Vec<String> = Vec::new();
+    for (name, layout) in [
+        ("forward", WordLayout::Forward),
+        ("alternating", WordLayout::Alternating),
+    ] {
+        for &tier in &[KernelTier::Scalar, default_tier] {
+            if scale.quick {
+                layout_rows.push(format!(
+                    "    {{ \"layout\": \"{name}\", \"tier\": \"{tier}\", \
+                     \"skipped\": true, {} }}",
+                    skipped_json("ns_per_op"),
+                ));
+                continue;
+            }
+            let filter = build_filter(headline_keys, 16.0, layout);
+            let points = probe_keys(headline_keys, n_queries);
+            let stats = time_points(&filter, &points, 64, tier, samples);
+            report.push(&[
+                headline_keys.to_string(),
+                "16".to_string(),
+                "64".to_string(),
+                format!("{tier}[{name}]"),
+                "point".to_string(),
+                sig(stats.mean_ns),
+                sig(stats.min_ns),
+                sig(stats.ci95_ns),
+            ]);
+            layout_rows.push(format!(
+                "    {{ \"layout\": \"{name}\", \"tier\": \"{tier}\", \
+                 \"skipped\": false, {} }}",
+                stats_json(&stats, "ns_per_op"),
+            ));
+        }
+    }
+
+    // Insert threshold sweep: force the sort+dedup path on (threshold 0) and
+    // off (threshold usize::MAX) across segment sizes; the crossover backs
+    // the SORT_THRESHOLD_BITS default. Fresh filter per timed run so no run
+    // writes into pre-set bits.
+    let mut insert_rows: Vec<String> = Vec::new();
+    let insert_samples = if scale.quick { 2 } else { 5 };
+    for shift in [18u32, 20, 22, 24, 26, 28] {
+        let segment_bits = 1usize << shift;
+        let n_keys = segment_bits / 16;
+        let measured = !scale.quick || shift <= 20;
+        for (strategy, threshold) in [("unsorted", usize::MAX), ("sorted", 0usize)] {
+            if !measured {
+                insert_rows.push(format!(
+                    "    {{ \"segment_bits\": {segment_bits}, \"strategy\": \"{strategy}\", \
+                     \"skipped\": true, {} }}",
+                    skipped_json("ns_per_key"),
+                ));
+                continue;
+            }
+            let keys: Vec<u64> = (0..n_keys as u64).map(key_of).collect();
+            // Pre-build one filter per run (warm-up + samples) so only the
+            // insert itself is timed.
+            let mut fresh: Vec<BloomRf> = (0..insert_samples + 1)
+                .map(|_| {
+                    let config = BloomRfConfig::basic(64, n_keys, 16.0, DELTA).expect("config");
+                    BloomRf::new(config).expect("filter")
+                })
+                .collect();
+            let stats = measure_ns_per_op(keys.len(), insert_samples, || {
+                let filter = fresh.pop().expect("one filter per run");
+                filter.insert_batch_with_threshold(&keys, threshold);
+                std::hint::black_box(&filter);
+            });
+            report.push(&[
+                n_keys.to_string(),
+                "16".to_string(),
+                "-".to_string(),
+                format!("insert[{strategy}]"),
+                format!("seg=2^{shift}"),
+                sig(stats.mean_ns),
+                sig(stats.min_ns),
+                sig(stats.ci95_ns),
+            ]);
+            insert_rows.push(format!(
+                "    {{ \"segment_bits\": {segment_bits}, \"strategy\": \"{strategy}\", \
+                 \"skipped\": false, {} }}",
+                stats_json(&stats, "ns_per_key"),
+            ));
+        }
+    }
+
+    report.finish();
+
+    let snapshot = format!(
+        "{{\n  \"snapshot\": \"probe_kernel_v1\",\n  \"config\": {{ \
+         \"samples\": {samples}, \"quick\": {}, \"queries_per_run\": {n_queries}, \
+         \"range_width\": {RANGE_WIDTH}, \"default_tier\": \"{default_tier}\" }},\n  \
+         \"probe_rows\": [\n{}\n  ],\n  \"layout_rows\": [\n{}\n  ],\n  \
+         \"insert_rows\": [\n{}\n  ],\n{}\n}}\n",
+        scale.quick,
+        probe_rows.join(",\n"),
+        layout_rows.join(",\n"),
+        insert_rows.join(",\n"),
+        headline.unwrap_or_else(|| "  \"headline\": null".to_string()),
+    );
+    let path = std::env::var("BENCH_SNAPSHOT").unwrap_or_else(|_| "BENCH_probe_kernel.json".into());
+    std::fs::write(&path, snapshot).expect("write snapshot");
+    println!("[written] {path}");
+}

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use bloomrf::traits::PointRangeFilter;
 use bloomrf_workloads::RangeQuery;
+pub use criterion::SampleStats;
 
 /// Scaling knobs shared by every experiment binary.
 #[derive(Clone, Copy, Debug)]
@@ -158,6 +159,30 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let result = f();
     (result, start.elapsed().as_secs_f64())
+}
+
+/// Robust per-operation timing: one untimed warm-up run, then `samples`
+/// timed runs of `routine` (each covering `total_ops` operations),
+/// summarized with the criterion shim's Tukey-fenced [`SampleStats`]
+/// (mean of inliers, global minimum, 95% CI, outlier count).
+///
+/// Use this for harness measurements that feed committed JSON snapshots —
+/// it applies the same outlier rejection as the shim's report path, so
+/// snapshot numbers and bench output stay comparable.
+pub fn measure_ns_per_op(
+    total_ops: usize,
+    samples: usize,
+    mut routine: impl FnMut(),
+) -> SampleStats {
+    routine();
+    let per_op: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_nanos() as f64 / total_ops.max(1) as f64
+        })
+        .collect();
+    SampleStats::from_ns(&per_op).expect("at least one sample")
 }
 
 /// Millions of operations per second for `ops` operations taking `seconds`.

@@ -42,6 +42,16 @@ pub trait BitStore: Send + Sync + std::fmt::Debug {
     /// Read bit `idx`.
     fn get(&self, idx: usize) -> bool;
 
+    /// Best-effort hint that bit `idx` will be read soon: request the cache
+    /// line holding its physical word. Purely a scheduling hint — no memory
+    /// is accessed architecturally, nothing synchronizes, and the default is
+    /// a no-op; backends with addressable storage override it. Sound to call
+    /// concurrently with writers for the same reason `get` is.
+    #[inline]
+    fn prefetch_bit(&self, idx: usize) {
+        let _ = idx;
+    }
+
     /// Load a logical word of `width` bits (1..=64, dividing 64) at the
     /// `width`-aligned bit position `start`.
     fn load_word(&self, start: usize, width: u32) -> u64;
@@ -476,6 +486,15 @@ impl BitStore for AtomicBits {
         AtomicBits::get(self, idx)
     }
     #[inline]
+    fn prefetch_bit(&self, idx: usize) {
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
+        crate::kernel::prefetch_read(&self.words[idx / 64]);
+    }
+    #[inline]
     fn load_word(&self, start: usize, width: u32) -> u64 {
         AtomicBits::load_word(self, start, width)
     }
@@ -625,6 +644,16 @@ impl BitStore for ShardedAtomicBits {
         // ordering: stale reads only produce the documented false negative
         // for concurrently-inserted keys.
         (self.locate(idx / 64).load(Ordering::Relaxed) >> (idx % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn prefetch_bit(&self, idx: usize) {
+        debug_assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
+        crate::kernel::prefetch_read(self.locate(idx / 64));
     }
 
     #[inline]

@@ -95,6 +95,14 @@ pub struct BloomRfConfig {
     /// Behaviour for ranges larger than the design maximum.
     pub range_policy: RangePolicy,
     /// Word layout (forward, or alternating for degenerate distributions).
+    ///
+    /// The `Forward` default is a measured choice, not an aesthetic one: in
+    /// the `fig_probe_kernel` layout A/B (4M keys × 16 bits, batch 64, see
+    /// `BENCH_probe_kernel.json`) forward wins on the scalar path (128 vs
+    /// 141 ns/op) and single-point probes, while alternating only edges ahead
+    /// under the prefetching batch kernel at out-of-cache sizes (97 vs
+    /// 110 ns/op). Switch to `Alternating` for its intended purpose —
+    /// degenerate key distributions — not for throughput.
     #[cfg_attr(feature = "serde", serde(skip))]
     pub word_layout: WordLayout,
 }

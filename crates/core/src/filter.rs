@@ -41,6 +41,7 @@ use crate::config::{BloomRfConfig, RangePolicy};
 use crate::crc32::crc32;
 use crate::error::{ConfigError, DecodeError, MergeError};
 use crate::hashing::{derive_seeds, shl, shr, HashKind, Pmhf, WordLayout};
+use crate::kernel::{KernelTier, ProbeScratch};
 use crate::traits::{OnlineFilter, PointRangeFilter};
 
 /// Probe-cost counters collected during a range lookup; used by the
@@ -352,9 +353,14 @@ impl<S: BitStore> BloomRf<S> {
     /// Equivalent to calling [`BloomRf::insert`] for every key. Panics if any
     /// key is outside the configured domain (checked before any bit is set).
     pub fn insert_batch(&self, keys: &[u64]) {
-        // Sorting pays for itself only once a segment clearly exceeds L2;
-        // below that, the per-layer grouping alone provides the locality.
-        const SORT_THRESHOLD_BITS: usize = 1 << 24; // 2 MiB
+        self.insert_batch_with_threshold(keys, SORT_THRESHOLD_BITS)
+    }
+
+    /// [`BloomRf::insert_batch`] with an explicit sort threshold, exposed so
+    /// the probe-kernel harness (`fig_probe_kernel`) can sweep the threshold
+    /// empirically; everything else should use `insert_batch` and the
+    /// measured default [`SORT_THRESHOLD_BITS`].
+    pub fn insert_batch_with_threshold(&self, keys: &[u64], sort_threshold_bits: usize) {
         for &key in keys {
             assert!(
                 key <= self.config.max_key(),
@@ -370,7 +376,7 @@ impl<S: BitStore> BloomRf<S> {
         let mut positions: Vec<u64> = Vec::new();
         for layer in &self.layers {
             let seg = &self.segments[layer.segment];
-            if seg.capacity_bits() < SORT_THRESHOLD_BITS {
+            if seg.capacity_bits() < sort_threshold_bits {
                 for h in &layer.hashers {
                     for &key in keys {
                         seg.set(h.bit_position(key, layer.word_count) as usize);
@@ -405,6 +411,15 @@ impl<S: BitStore> BloomRf<S> {
                 return false;
             }
         }
+        // The bit position of every layer depends only on the key, so on
+        // filters too large to be cache-resident all probe addresses are
+        // computed and prefetched up front; the first loads then overlap the
+        // remaining hash work instead of serializing layer by layer.
+        if KernelTier::detect().prefetches() && self.has_prefetch_worthy_segment() {
+            if let Some(answer) = self.contains_point_prefetched(key) {
+                return answer;
+            }
+        }
         for layer in &self.layers {
             if !self.layer_bit_set(layer, key) {
                 return false;
@@ -413,28 +428,272 @@ impl<S: BitStore> BloomRf<S> {
         true
     }
 
+    /// Is any probabilistic segment large enough that a prefetch pass pays
+    /// for its extra hash work? (See `kernel::PREFETCH_MIN_SEGMENT_BITS`.)
+    #[inline]
+    fn has_prefetch_worthy_segment(&self) -> bool {
+        self.segments
+            .iter()
+            .any(|s| s.capacity_bits() >= crate::kernel::PREFETCH_MIN_SEGMENT_BITS)
+    }
+
+    /// Point lookup with an up-front prefetch pass over all layers. Probes
+    /// exactly the bits the plain loop probes (answers are identical); only
+    /// the memory schedule differs. Returns `None` when the probe count
+    /// exceeds the stack buffer (extreme configurations), in which case the
+    /// caller falls back to the plain loop.
+    fn contains_point_prefetched(&self, key: u64) -> Option<bool> {
+        const MAX_PROBES: usize = 64;
+        if self.layers.iter().map(|l| l.hashers.len()).sum::<usize>() > MAX_PROBES {
+            return None;
+        }
+        let mut pos = [0u64; MAX_PROBES];
+        let mut n = 0usize;
+        for layer in &self.layers {
+            let seg = &self.segments[layer.segment];
+            for h in &layer.hashers {
+                let p = h.bit_position(key, layer.word_count);
+                seg.prefetch_bit(p as usize);
+                pos[n] = p;
+                n += 1;
+            }
+        }
+        let mut idx = 0usize;
+        for layer in &self.layers {
+            let seg = &self.segments[layer.segment];
+            let mut all_set = true;
+            for _ in &layer.hashers {
+                all_set &= seg.get(pos[idx] as usize);
+                idx += 1;
+            }
+            if !all_set {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
     /// Batched point membership: answers element-wise identical to
-    /// [`BloomRf::contains_point`], but evaluated level-by-level — each layer
-    /// is probed for every still-alive key before the next layer is touched,
-    /// so one segment region stays hot in cache for the whole batch.
+    /// [`BloomRf::contains_point`], evaluated by the word-parallel kernel at
+    /// the detected [`KernelTier`] — all bit positions of a layer are
+    /// computed branch-free up front (prefetching the next layer's words
+    /// while the current one resolves), tested in 4-wide lanes, and the
+    /// alive set is compacted at each layer boundary.
     pub fn contains_point_batch(&self, keys: &[u64]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.contains_point_batch_into(keys, &mut out);
+        out
+    }
+
+    /// [`BloomRf::contains_point_batch`] writing into a caller-owned buffer
+    /// (cleared first), so repeated batches allocate nothing for the answer
+    /// vector. Hot loops that also want to reuse the kernel's internal
+    /// buffers hold a [`ProbeScratch`] and call
+    /// [`BloomRf::contains_point_batch_with`].
+    pub fn contains_point_batch_into(&self, keys: &[u64], out: &mut Vec<bool>) {
+        let mut scratch = ProbeScratch::default();
+        self.contains_point_batch_with(keys, out, &mut scratch, KernelTier::detect());
+    }
+
+    /// Batched point membership with explicit scratch buffers and an explicit
+    /// kernel tier. This is the full-control entry point: the LSM tree
+    /// descent reuses one [`ProbeScratch`] across thousands of per-node
+    /// batches, and the benchmark harness pins the tier so one binary can
+    /// compare scalar vs. kernel on the same filter.
+    pub fn contains_point_batch_with(
+        &self,
+        keys: &[u64],
+        out: &mut Vec<bool>,
+        scratch: &mut ProbeScratch,
+        tier: KernelTier,
+    ) {
+        match tier {
+            KernelTier::Scalar => self.point_batch_scalar(keys, out),
+            KernelTier::WordParallel => self.point_batch_kernel(keys, out, scratch, false),
+            KernelTier::Prefetch => self.point_batch_kernel(keys, out, scratch, true),
+        }
+    }
+
+    /// The pre-kernel scalar batch path, kept verbatim as the reference
+    /// implementation: one key at a time per layer with per-key early exit.
+    /// `fig_probe_kernel` measures the kernel's speedup against this, and the
+    /// differential property tests assert answer-identity to it.
+    pub fn contains_point_batch_scalar(&self, keys: &[u64]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.point_batch_scalar(keys, &mut out);
+        out
+    }
+
+    fn point_batch_scalar(&self, keys: &[u64], out: &mut Vec<bool>) {
         let max_key = self.config.max_key();
-        let mut alive: Vec<bool> = keys.iter().map(|&k| k <= max_key).collect();
+        out.clear();
+        out.extend(keys.iter().map(|&k| k <= max_key));
         if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
             for (i, &key) in keys.iter().enumerate() {
-                if alive[i] && !exact.get(shr(key, e) as usize) {
-                    alive[i] = false;
+                if out[i] && !exact.get(shr(key, e) as usize) {
+                    out[i] = false;
                 }
             }
         }
         for layer in &self.layers {
             for (i, &key) in keys.iter().enumerate() {
-                if alive[i] && !self.layer_bit_set(layer, key) {
-                    alive[i] = false;
+                if out[i] && !self.layer_bit_set(layer, key) {
+                    out[i] = false;
                 }
             }
         }
-        alive
+    }
+
+    /// The word-parallel point kernel (tentpole of `docs/probe-kernel.md`).
+    ///
+    /// Per layer the work is phase-split: phase A computes the bit position
+    /// of every alive key for every replica in one branch-free pass (issuing
+    /// a prefetch per position when `prefetch` is set); phase B tests the
+    /// positions of the *previous* layer in 4-wide lanes, so its loads —
+    /// requested one full layer earlier — resolve while phase A's hash work
+    /// executes. Queries short-circuit only at layer boundaries, where the
+    /// alive list is compacted and survivors' next-layer positions gathered.
+    fn point_batch_kernel(
+        &self,
+        keys: &[u64],
+        out: &mut Vec<bool>,
+        scratch: &mut ProbeScratch,
+        prefetch: bool,
+    ) {
+        let max_key = self.config.max_key();
+        out.clear();
+        out.extend(keys.iter().map(|&k| k <= max_key));
+        let ProbeScratch {
+            alive,
+            next_alive,
+            cur_pos,
+            next_pos,
+            flags,
+        } = scratch;
+        alive.clear();
+        alive.extend((0..keys.len() as u32).filter(|&i| out[i as usize]));
+
+        if let (Some(exact), Some(e)) = (&self.exact, self.config.exact_level) {
+            cur_pos.clear();
+            cur_pos.extend(alive.iter().map(|&i| shr(keys[i as usize], e)));
+            if prefetch {
+                for &p in cur_pos.iter() {
+                    exact.prefetch_bit(p as usize);
+                }
+            }
+            next_alive.clear();
+            for (j, &i) in alive.iter().enumerate() {
+                if exact.get(cur_pos[j] as usize) {
+                    next_alive.push(i);
+                } else {
+                    out[i as usize] = false;
+                }
+            }
+            std::mem::swap(alive, next_alive);
+        }
+        if alive.is_empty() {
+            return;
+        }
+
+        // Phase A for the first layer; the pipeline below keeps one layer of
+        // positions in flight from here on.
+        self.layer_positions(&self.layers[0], keys, alive, cur_pos, prefetch);
+        for k in 0..self.layers.len() {
+            let layer = &self.layers[k];
+            // Phase A (pipelined): compute + prefetch layer k+1's positions
+            // for the current alive set while layer k's loads resolve.
+            if let Some(next_layer) = self.layers.get(k + 1) {
+                self.layer_positions(next_layer, keys, alive, next_pos, prefetch);
+            }
+            // Phase B: test layer k's (already requested) words branch-free.
+            let seg = &self.segments[layer.segment];
+            let n = alive.len();
+            flags.clear();
+            flags.resize(n, 1);
+            for rep in 0..layer.hashers.len() {
+                let pos = &cur_pos[rep * n..(rep + 1) * n];
+                let mut j = 0usize;
+                // 4-wide lanes: four independent loads in flight per step.
+                while j + 4 <= n {
+                    let b0 = seg.get(pos[j] as usize) as u8;
+                    let b1 = seg.get(pos[j + 1] as usize) as u8;
+                    let b2 = seg.get(pos[j + 2] as usize) as u8;
+                    let b3 = seg.get(pos[j + 3] as usize) as u8;
+                    flags[j] &= b0;
+                    flags[j + 1] &= b1;
+                    flags[j + 2] &= b2;
+                    flags[j + 3] &= b3;
+                    j += 4;
+                }
+                while j < n {
+                    flags[j] &= seg.get(pos[j] as usize) as u8;
+                    j += 1;
+                }
+            }
+            // Layer boundary: compact survivors; gather their already-computed
+            // next-layer positions so the pipeline stays warm.
+            next_alive.clear();
+            if k + 1 < self.layers.len() {
+                let r_next = self.layers[k + 1].hashers.len();
+                cur_pos.clear();
+                for (j, &i) in alive.iter().enumerate() {
+                    if flags[j] != 0 {
+                        next_alive.push(i);
+                    } else {
+                        out[i as usize] = false;
+                    }
+                }
+                for rep in 0..r_next {
+                    let base = rep * n;
+                    for (j, f) in flags.iter().enumerate() {
+                        if *f != 0 {
+                            cur_pos.push(next_pos[base + j]);
+                        }
+                    }
+                }
+            } else {
+                for (j, &i) in alive.iter().enumerate() {
+                    if flags[j] != 0 {
+                        next_alive.push(i);
+                    } else {
+                        out[i as usize] = false;
+                    }
+                }
+            }
+            std::mem::swap(alive, next_alive);
+            if alive.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Phase A of the kernel: the absolute bit position of every alive key
+    /// for every replica of `layer`, replica-major, optionally issuing a
+    /// software prefetch for each position as it is produced.
+    fn layer_positions(
+        &self,
+        layer: &LayerRuntime,
+        keys: &[u64],
+        alive: &[u32],
+        pos_out: &mut Vec<u64>,
+        prefetch: bool,
+    ) {
+        let seg = &self.segments[layer.segment];
+        pos_out.clear();
+        pos_out.reserve(layer.hashers.len() * alive.len());
+        for h in &layer.hashers {
+            if prefetch {
+                for &i in alive {
+                    let p = h.bit_position(keys[i as usize], layer.word_count);
+                    seg.prefetch_bit(p as usize);
+                    pos_out.push(p);
+                }
+            } else {
+                for &i in alive {
+                    pos_out.push(h.bit_position(keys[i as usize], layer.word_count));
+                }
+            }
+        }
     }
 
     /// Approximate range emptiness test for the inclusive interval `[lo, hi]`.
@@ -480,8 +739,34 @@ impl<S: BitStore> BloomRf<S> {
     /// sequential lookup. Degenerate single-point ranges are folded into one
     /// [`BloomRf::contains_point_batch`] call.
     pub fn contains_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.contains_range_batch_into(ranges, &mut out);
+        out
+    }
+
+    /// [`BloomRf::contains_range_batch`] writing into a caller-owned buffer
+    /// (cleared first), so repeated batches allocate nothing for the answer
+    /// vector.
+    pub fn contains_range_batch_into(&self, ranges: &[(u64, u64)], out: &mut Vec<bool>) {
+        self.range_batch_with(ranges, out, KernelTier::detect());
+    }
+
+    /// Batched range lookup at an explicit [`KernelTier`] (the benchmark
+    /// harness pins the tier; production callers use the `_into`/plain
+    /// variants which run the detected tier).
+    pub fn contains_range_batch_with(
+        &self,
+        ranges: &[(u64, u64)],
+        out: &mut Vec<bool>,
+        tier: KernelTier,
+    ) {
+        self.range_batch_with(ranges, out, tier);
+    }
+
+    fn range_batch_with(&self, ranges: &[(u64, u64)], out: &mut Vec<bool>, tier: KernelTier) {
         let budget = self.range_budget();
-        let mut out = vec![false; ranges.len()];
+        out.clear();
+        out.resize(ranges.len(), false);
         // Per-query probe counters are not reported on the batch path; one
         // scratch accumulator serves every query.
         let mut stats = ProbeStats::default();
@@ -498,13 +783,32 @@ impl<S: BitStore> BloomRf<S> {
                 RangeInit::Go(state) => pending.push((i, state)),
             }
         }
-        for (&i, answer) in points.iter().zip(self.contains_point_batch(&point_keys)) {
-            out[i] = answer;
+        if !points.is_empty() {
+            let mut point_out = Vec::new();
+            let mut scratch = ProbeScratch::default();
+            self.contains_point_batch_with(&point_keys, &mut point_out, &mut scratch, tier);
+            for (&i, answer) in points.iter().zip(point_out) {
+                out[i] = answer;
+            }
         }
         for (_, state) in pending.iter_mut() {
             self.range_exact_step(state, budget, &mut stats);
         }
-        for layer in self.layers.iter().rev() {
+        // Per-layer grouping with cross-layer prefetch: before stepping layer
+        // k for the pending queries, the covering-probe words of layer k-1
+        // (the next one the reversed iteration visits) are requested — their
+        // addresses depend only on the query bounds, so they can be computed
+        // a full layer early and their loads overlap this layer's probing.
+        let prefetch = tier.prefetches();
+        if prefetch {
+            if let Some(first) = self.layers.last() {
+                self.stage_range_prefetch(first, &pending);
+            }
+        }
+        for (k, layer) in self.layers.iter().enumerate().rev() {
+            if prefetch && k > 0 {
+                self.stage_range_prefetch(&self.layers[k - 1], &pending);
+            }
             for (_, state) in pending.iter_mut() {
                 if state.outcome.is_none() {
                     self.range_layer_step(layer, state, budget, &mut stats);
@@ -514,7 +818,27 @@ impl<S: BitStore> BloomRf<S> {
         for (i, state) in pending {
             out[i] = state.outcome.unwrap_or(false);
         }
-        out
+    }
+
+    /// Issue prefetches for the single-bit covering checks `range_layer_step`
+    /// will perform on `layer` for every unresolved query. Only the `lo`/`hi`
+    /// probe words are staged (the decomposition-run words depend on budget
+    /// flow), and only for segments too large to be cache-resident — below
+    /// `kernel::PREFETCH_MIN_SEGMENT_BITS` the duplicated hash work outweighs
+    /// the hidden latency.
+    fn stage_range_prefetch(&self, layer: &LayerRuntime, pending: &[(usize, RangeState)]) {
+        let seg = &self.segments[layer.segment];
+        if seg.capacity_bits() < crate::kernel::PREFETCH_MIN_SEGMENT_BITS {
+            return;
+        }
+        for (_, state) in pending {
+            if state.outcome.is_none() {
+                for h in &layer.hashers {
+                    seg.prefetch_bit(h.bit_position(state.lo, layer.word_count) as usize);
+                    seg.prefetch_bit(h.bit_position(state.hi, layer.word_count) as usize);
+                }
+            }
+        }
     }
 
     /// Word-access budget per layer implied by the configured range policy.
@@ -949,6 +1273,20 @@ fn config_mismatch(a: &BloomRfConfig, b: &BloomRfConfig) -> Option<&'static str>
     }
 }
 
+/// Segment capacity (in bits) above which [`BloomRf::insert_batch`] sorts
+/// and deduplicates a layer's positions before writing, turning the
+/// random-per-key write pattern into one ascending sweep.
+///
+/// Sorting pays for itself only once a segment clearly exceeds the cache
+/// hierarchy; below that, the per-layer grouping alone provides the locality
+/// and the O(n log n) sort is pure overhead. The default (2²⁷ bits = 16 MiB)
+/// is backed by the `insert_threshold` sweep of the `fig_probe_kernel`
+/// harness (see `BENCH_probe_kernel.json`): the unsorted path wins through
+/// 2²⁶-bit segments (152 vs 282 ns/key at 2²⁶) while the sorted sweep wins
+/// at 2²⁸ (320 vs 467 ns/key); the threshold sits at the midpoint of that
+/// measured crossover interval.
+pub const SORT_THRESHOLD_BITS: usize = 1 << 27; // 16 MiB
+
 /// Magic bytes opening every serialized filter.
 pub const WIRE_MAGIC: &[u8; 4] = b"BLRF";
 /// Wire-format version written by [`BloomRf::to_bytes`].
@@ -1267,6 +1605,12 @@ impl<S: BitStore> PointRangeFilter for BloomRf<S> {
     }
     fn may_contain_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
         self.contains_range_batch(ranges)
+    }
+    fn may_contain_batch_into(&self, keys: &[u64], out: &mut Vec<bool>) {
+        self.contains_point_batch_into(keys, out);
+    }
+    fn may_contain_range_batch_into(&self, ranges: &[(u64, u64)], out: &mut Vec<bool>) {
+        self.contains_range_batch_into(ranges, out);
     }
     fn serialize(&self) -> Option<Vec<u8>> {
         Some(self.to_bytes())

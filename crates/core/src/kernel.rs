@@ -1,0 +1,209 @@
+//! The word-parallel probe kernel: runtime dispatch tiers, software
+//! prefetch, and the scratch buffers the batched probe engine runs on.
+//!
+//! The per-layer probes of a bloomRF lookup are independent memory reads —
+//! the bit position of layer `k+1` depends only on the key, never on the
+//! outcome of layer `k` — so the batched engine can compute *all* word
+//! indices and masks of a layer up front in a tight branch-free loop, request
+//! the cache lines early with a software prefetch, and test them 4-wide.
+//! Queries short-circuit only at layer boundaries, where the alive set is
+//! compacted. See `docs/probe-kernel.md` for the full pipeline and the
+//! measurements behind the defaults (committed as `BENCH_probe_kernel.json`
+//! at the workspace root).
+//!
+//! The kernel never changes *which* logical bits are probed — only the order
+//! and grouping of the (pure) reads — so every tier is answer-identical to
+//! the scalar reference path; `tests/kernel_differential.rs` proves this for
+//! every `WordLayout` × backend × query-shape combination.
+//!
+
+use std::sync::OnceLock;
+
+/// Which probe implementation the engine runs.
+///
+/// Tiers differ only in instruction scheduling, never in answers:
+///
+/// * [`KernelTier::Scalar`] — the pre-kernel reference loop: one key at a
+///   time per layer, early exit per key. Kept callable so benchmarks and
+///   differential tests always compare against the true baseline.
+/// * [`KernelTier::WordParallel`] — phase-split batched kernel: all bit
+///   positions of a layer are computed in one branch-free pass, then tested
+///   in 4-wide lanes (four independent loads in flight per step), with
+///   alive-set compaction at layer boundaries.
+/// * [`KernelTier::Prefetch`] — [`KernelTier::WordParallel`] plus software
+///   prefetch: while layer `k` resolves, the cache lines of layer `k+1`'s
+///   words are requested (their addresses are computable from the keys
+///   alone). This is the default wherever a prefetch instruction exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Scalar reference path (the pre-kernel implementation).
+    Scalar,
+    /// Branch-free word-parallel batch kernel, no prefetch.
+    WordParallel,
+    /// Word-parallel kernel with cross-layer software prefetch.
+    Prefetch,
+}
+
+/// Does this build have a real prefetch instruction to issue?
+///
+/// Under `--cfg bloomrf_loom` the atomics are the model checker's
+/// instrumented types, which have no meaningful raw address — the hint
+/// compiles to nothing, so the kernel path explores exactly the same
+/// schedule space as the scalar path (asserted in `tests/loom_model.rs`).
+/// Miri has no notion of caches either.
+pub(crate) const PREFETCH_AVAILABLE: bool = cfg!(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(bloomrf_loom),
+    not(miri)
+));
+
+/// Segments smaller than this (bits) are assumed cache-resident, where the
+/// duplicated hash work of a prefetch staging pass costs more than the
+/// latency it hides. Gates the single-point prefetched probe and the range
+/// engine's staging pass — not the batched point kernel, whose prefetches
+/// are free byproducts of positions it computes anyway.
+///
+/// 2²⁵ bits = 4 MiB, around typical L2+L3-slice capacity. Measured via the
+/// `fig_probe_kernel` range sweep (see `BENCH_probe_kernel.json`): on a
+/// 2 MiB filter (1M keys × 16 bits) staging *costs* ~20% on 64-range
+/// batches, while on an 8 MiB filter (4M keys) it wins ~18%; the crossover
+/// sits between those sizes.
+pub(crate) const PREFETCH_MIN_SEGMENT_BITS: usize = 1 << 25;
+
+impl KernelTier {
+    /// The tier the engine uses by default: [`KernelTier::Prefetch`] where a
+    /// prefetch instruction exists (x86-64, aarch64 — outside the model
+    /// checker and Miri), [`KernelTier::WordParallel`] otherwise.
+    ///
+    /// Overridable for experiments with `BLOOMRF_KERNEL=scalar|word|prefetch`
+    /// (read once per process; the benchmark harness uses the explicit-tier
+    /// entry points instead so one binary can compare all tiers).
+    pub fn detect() -> Self {
+        static TIER: OnceLock<KernelTier> = OnceLock::new();
+        *TIER.get_or_init(|| {
+            match std::env::var("BLOOMRF_KERNEL").ok().as_deref() {
+                Some("scalar") => KernelTier::Scalar,
+                Some("word") | Some("word-parallel") => KernelTier::WordParallel,
+                Some("prefetch") => KernelTier::Prefetch,
+                // Unknown values fall through to detection rather than
+                // failing: the knob is a benchmarking aid, not config.
+                _ => {
+                    if PREFETCH_AVAILABLE {
+                        KernelTier::Prefetch
+                    } else {
+                        KernelTier::WordParallel
+                    }
+                }
+            }
+        })
+    }
+
+    /// Does this tier issue software prefetches?
+    #[inline]
+    pub fn prefetches(self) -> bool {
+        matches!(self, KernelTier::Prefetch)
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::WordParallel => "word",
+            KernelTier::Prefetch => "prefetch",
+        })
+    }
+}
+
+/// Request the cache line holding `*p` into L1, if the target has a prefetch
+/// instruction. A pure scheduling hint: no memory is accessed architecturally,
+/// no fault can be raised, and nothing synchronizes — which is why the
+/// [`crate::bitarray::BitStore::prefetch_bit`] hook is sound to call
+/// concurrently with writers.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(all(target_arch = "x86_64", not(bloomrf_loom), not(miri)))]
+    // SAFETY: PREFETCHT0 is a hint instruction — it performs no architectural
+    // memory access and never faults, for any address value.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(all(target_arch = "aarch64", not(bloomrf_loom), not(miri)))]
+    // SAFETY: PRFM PLDL1KEEP is a hint instruction — it performs no
+    // architectural memory access and never faults, for any address value.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{addr}]",
+            addr = in(reg) p as u64,
+            options(nostack, preserves_flags)
+        );
+    }
+    #[cfg(any(
+        not(any(target_arch = "x86_64", target_arch = "aarch64")),
+        bloomrf_loom,
+        miri
+    ))]
+    let _ = p;
+}
+
+/// Reusable buffers for the word-parallel point kernel.
+///
+/// The `_into` batch entry points allocate one of these per call (the buffers
+/// are small); hot paths that probe thousands of batches — the LSM tree
+/// descent, `Db::get_batch` — hold one across calls via
+/// [`crate::BloomRf::contains_point_batch_with`] so the steady state is
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// Indices (into the caller's key slice) of queries still alive.
+    pub(crate) alive: Vec<u32>,
+    /// Compaction target for `alive` at each layer boundary.
+    pub(crate) next_alive: Vec<u32>,
+    /// Bit positions of the layer being probed, replica-major.
+    pub(crate) cur_pos: Vec<u64>,
+    /// Bit positions of the *next* layer, computed (and prefetched) while the
+    /// current layer resolves.
+    pub(crate) next_pos: Vec<u64>,
+    /// Per-alive-query survival flags for the layer being probed (branch-free
+    /// accumulation target; `1` = all replicas so far set).
+    pub(crate) flags: Vec<u8>,
+}
+
+impl ProbeScratch {
+    /// A fresh scratch; equivalent to `ProbeScratch::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_callable_on_any_address() {
+        // A hint must tolerate arbitrary addresses, including null.
+        let x = 42u64;
+        prefetch_read(&x);
+        prefetch_read(std::ptr::null::<u64>());
+    }
+
+    #[test]
+    fn tier_display_is_stable() {
+        // Snapshot schemas serialize these names; changing them breaks
+        // `xtask bench-check` comparisons.
+        assert_eq!(KernelTier::Scalar.to_string(), "scalar");
+        assert_eq!(KernelTier::WordParallel.to_string(), "word");
+        assert_eq!(KernelTier::Prefetch.to_string(), "prefetch");
+    }
+
+    #[test]
+    fn detect_returns_a_fixed_tier() {
+        let a = KernelTier::detect();
+        let b = KernelTier::detect();
+        assert_eq!(a, b);
+        if std::env::var("BLOOMRF_KERNEL").is_err() && !PREFETCH_AVAILABLE {
+            assert_ne!(a, KernelTier::Prefetch);
+        }
+    }
+}

@@ -87,6 +87,7 @@ pub mod encode;
 pub mod error;
 pub mod filter;
 pub mod hashing;
+pub mod kernel;
 pub mod model;
 pub mod sync;
 pub mod traits;
@@ -99,5 +100,6 @@ pub use config::{BloomRfConfig, LayerSpec, RangePolicy};
 pub use encode::{decode_f64, decode_i64, encode_f64, encode_i64, MultiAttrBloomRf, RangeKey};
 pub use error::{ConfigError, DecodeError, MergeError};
 pub use filter::{BloomRf, ProbeStats, ShardedBloomRf, WIRE_FORMAT_VERSION, WIRE_MAGIC};
+pub use kernel::{KernelTier, ProbeScratch};
 pub use traits::{ExclusiveOnlineFilter, FilterBuilder, Locked, OnlineFilter, PointRangeFilter};
 pub use typed::{TypedBloomRf, TypedShardedBloomRf};

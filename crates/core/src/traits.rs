@@ -42,6 +42,26 @@ pub trait PointRangeFilter: Send + Sync {
             .collect()
     }
 
+    /// [`PointRangeFilter::may_contain_batch`] written into a caller-owned
+    /// buffer (cleared first). Hot paths that probe thousands of batches per
+    /// lookup (the LSM tree descent) route through this to keep the steady
+    /// state allocation-free; the default simply loops.
+    fn may_contain_batch_into(&self, keys: &[u64], out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.may_contain(k)));
+    }
+
+    /// [`PointRangeFilter::may_contain_range_batch`] written into a
+    /// caller-owned buffer (cleared first).
+    fn may_contain_range_batch_into(&self, ranges: &[(u64, u64)], out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(
+            ranges
+                .iter()
+                .map(|&(lo, hi)| self.may_contain_range(lo, hi)),
+        );
+    }
+
     /// Serialize the filter payload for persistence, if the family supports
     /// it. Storage layers that persist filter blocks call this instead of
     /// downcasting; families without a wire format (the default) answer
@@ -166,6 +186,12 @@ impl<F: ExclusiveOnlineFilter> PointRangeFilter for Locked<F> {
     }
     fn may_contain_range_batch(&self, ranges: &[(u64, u64)]) -> Vec<bool> {
         self.read().may_contain_range_batch(ranges)
+    }
+    fn may_contain_batch_into(&self, keys: &[u64], out: &mut Vec<bool>) {
+        self.read().may_contain_batch_into(keys, out);
+    }
+    fn may_contain_range_batch_into(&self, ranges: &[(u64, u64)], out: &mut Vec<bool>) {
+        self.read().may_contain_range_batch_into(ranges, out);
     }
     fn serialize(&self) -> Option<Vec<u8>> {
         self.read().serialize()

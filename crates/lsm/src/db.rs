@@ -841,6 +841,8 @@ impl Db {
     fn get_chunk(&self, keys: &[u64]) -> Vec<Option<Vec<u8>>> {
         let mut out: Vec<Option<Value>> = keys.iter().map(|&k| self.memtable.get(k)).collect();
         let ssts = self.ssts.read();
+        // One set of probe buffers per worker, reused across every SST.
+        let mut scratch = crate::sst::SstProbeScratch::default();
         match &self.tree {
             Some(tree) => {
                 // One tree descent for the whole chunk (memtable hits are
@@ -861,8 +863,12 @@ impl Db {
                         continue;
                     }
                     let sub_keys: Vec<u64> = routed.iter().map(|&j| open_keys[j]).collect();
-                    let found =
-                        ssts[sst_idx].get_many(&sub_keys, &self.options.io_model, &self.stats);
+                    let found = ssts[sst_idx].get_many_with(
+                        &sub_keys,
+                        &self.options.io_model,
+                        &self.stats,
+                        &mut scratch,
+                    );
                     for (&j, value) in routed.iter().zip(found) {
                         if value.is_some() {
                             out[open[j]] = value;
@@ -879,7 +885,12 @@ impl Db {
                     }
                     self.stats.record_ssts_probed(unresolved.len() as u64);
                     let sub_keys: Vec<u64> = unresolved.iter().map(|&i| keys[i]).collect();
-                    let found = sst.get_many(&sub_keys, &self.options.io_model, &self.stats);
+                    let found = sst.get_many_with(
+                        &sub_keys,
+                        &self.options.io_model,
+                        &self.stats,
+                        &mut scratch,
+                    );
                     for (&i, value) in unresolved.iter().zip(found) {
                         if value.is_some() {
                             out[i] = value;
@@ -923,6 +934,8 @@ impl Db {
             .map(|&(lo, hi)| lo <= hi && self.memtable.first_in_range(lo, hi).is_some())
             .collect();
         let ssts = self.ssts.read();
+        // One set of probe buffers per worker, reused across every SST.
+        let mut scratch = crate::sst::SstProbeScratch::default();
         match &self.tree {
             Some(tree) => {
                 let open: Vec<usize> = (0..ranges.len()).filter(|&i| !out[i]).collect();
@@ -938,10 +951,11 @@ impl Db {
                         continue;
                     }
                     let sub: Vec<(u64, u64)> = routed.iter().map(|&j| open_ranges[j]).collect();
-                    let verdicts = ssts[sst_idx].range_non_empty_many(
+                    let verdicts = ssts[sst_idx].range_non_empty_many_with(
                         &sub,
                         &self.options.io_model,
                         &self.stats,
+                        &mut scratch,
                     );
                     for (&j, hit) in routed.iter().zip(verdicts) {
                         if hit {
@@ -958,8 +972,12 @@ impl Db {
                     }
                     self.stats.record_ssts_probed(unresolved.len() as u64);
                     let sub: Vec<(u64, u64)> = unresolved.iter().map(|&i| ranges[i]).collect();
-                    let verdicts =
-                        sst.range_non_empty_many(&sub, &self.options.io_model, &self.stats);
+                    let verdicts = sst.range_non_empty_many_with(
+                        &sub,
+                        &self.options.io_model,
+                        &self.stats,
+                        &mut scratch,
+                    );
                     for (&i, hit) in unresolved.iter().zip(verdicts) {
                         if hit {
                             out[i] = true;

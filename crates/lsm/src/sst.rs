@@ -24,6 +24,25 @@ use crate::persist::{self, Corruption, TOMBSTONE_FLAG};
 use crate::stats::{IoModel, ReadStats};
 use crate::value::Value;
 
+/// Reusable probe buffers for the batched SST read paths
+/// ([`SsTable::get_many_with`], [`SsTable::range_non_empty_many_with`]).
+///
+/// A batched lookup fans one query batch across every candidate SST; holding
+/// one scratch per worker keeps that inner loop free of per-table
+/// allocations. All buffers are cleared on entry, so a scratch can be shared
+/// freely between point and range calls.
+#[derive(Default)]
+pub struct SstProbeScratch {
+    /// Indices of the batch elements that survive the fence check.
+    selected: Vec<usize>,
+    /// Keys handed to the filter (point path).
+    probe_keys: Vec<u64>,
+    /// Ranges handed to the filter (range path).
+    probe_ranges: Vec<(u64, u64)>,
+    /// Filter verdicts for the selected elements.
+    verdicts: Vec<bool>,
+}
+
 /// One immutable sorted run with a filter block.
 pub struct SsTable {
     /// Serialized data blocks.
@@ -304,24 +323,43 @@ impl SsTable {
     }
 
     /// Batched point lookup: probes the filter once for the whole batch via
-    /// [`PointRangeFilter::may_contain_batch`] (bloomRF's engine groups the
-    /// probes per dyadic level), then reads blocks only for the positives.
-    /// Element `i` equals `self.get(keys[i], ..)`.
+    /// [`PointRangeFilter::may_contain_batch_into`] (bloomRF's engine groups
+    /// the probes per dyadic level), then reads blocks only for the
+    /// positives. Element `i` equals `self.get(keys[i], ..)`.
     pub fn get_many(&self, keys: &[u64], io: &IoModel, stats: &ReadStats) -> Vec<Option<Value>> {
+        self.get_many_with(keys, io, stats, &mut SstProbeScratch::default())
+    }
+
+    /// [`SsTable::get_many`] with caller-owned probe buffers, so a lookup
+    /// wave that fans one batch across many SSTs reuses one allocation
+    /// instead of paying three per table.
+    pub fn get_many_with(
+        &self,
+        keys: &[u64],
+        io: &IoModel,
+        stats: &ReadStats,
+        scratch: &mut SstProbeScratch,
+    ) -> Vec<Option<Value>> {
         let mut out: Vec<Option<Value>> = vec![None; keys.len()];
-        let in_range: Vec<usize> = (0..keys.len())
-            .filter(|&i| keys[i] >= self.key_range.0 && keys[i] <= self.key_range.1)
-            .collect();
-        if in_range.is_empty() {
+        scratch.selected.clear();
+        scratch.selected.extend(
+            (0..keys.len()).filter(|&i| keys[i] >= self.key_range.0 && keys[i] <= self.key_range.1),
+        );
+        if scratch.selected.is_empty() {
             return out;
         }
-        let probe_keys: Vec<u64> = in_range.iter().map(|&i| keys[i]).collect();
+        scratch.probe_keys.clear();
+        scratch
+            .probe_keys
+            .extend(scratch.selected.iter().map(|&i| keys[i]));
         let start = Instant::now();
-        let verdicts = self.filter.may_contain_batch(&probe_keys);
+        self.filter
+            .may_contain_batch_into(&scratch.probe_keys, &mut scratch.verdicts);
         // Charge the batch probe time evenly across its probes so the
         // per-probe statistics stay comparable with the sequential path.
-        let per_probe_ns = (start.elapsed().as_nanos() as u64) / probe_keys.len().max(1) as u64;
-        for (&i, positive) in in_range.iter().zip(verdicts) {
+        let per_probe_ns =
+            (start.elapsed().as_nanos() as u64) / scratch.probe_keys.len().max(1) as u64;
+        for (&i, &positive) in scratch.selected.iter().zip(scratch.verdicts.iter()) {
             stats.record_filter_probe(positive, per_probe_ns);
             if positive {
                 out[i] = self.lookup_after_filter(keys[i], io, stats);
@@ -343,21 +381,37 @@ impl SsTable {
         io: &IoModel,
         stats: &ReadStats,
     ) -> Vec<bool> {
+        self.range_non_empty_many_with(ranges, io, stats, &mut SstProbeScratch::default())
+    }
+
+    /// [`SsTable::range_non_empty_many`] with caller-owned probe buffers
+    /// (see [`SsTable::get_many_with`]).
+    pub fn range_non_empty_many_with(
+        &self,
+        ranges: &[(u64, u64)],
+        io: &IoModel,
+        stats: &ReadStats,
+        scratch: &mut SstProbeScratch,
+    ) -> Vec<bool> {
         let mut out = vec![false; ranges.len()];
-        let overlapping: Vec<usize> = (0..ranges.len())
-            .filter(|&i| {
-                let (lo, hi) = ranges[i];
-                lo <= hi && hi >= self.key_range.0 && lo <= self.key_range.1
-            })
-            .collect();
-        if overlapping.is_empty() {
+        scratch.selected.clear();
+        scratch.selected.extend((0..ranges.len()).filter(|&i| {
+            let (lo, hi) = ranges[i];
+            lo <= hi && hi >= self.key_range.0 && lo <= self.key_range.1
+        }));
+        if scratch.selected.is_empty() {
             return out;
         }
-        let probe_ranges: Vec<(u64, u64)> = overlapping.iter().map(|&i| ranges[i]).collect();
+        scratch.probe_ranges.clear();
+        scratch
+            .probe_ranges
+            .extend(scratch.selected.iter().map(|&i| ranges[i]));
         let start = Instant::now();
-        let verdicts = self.filter.may_contain_range_batch(&probe_ranges);
-        let per_probe_ns = (start.elapsed().as_nanos() as u64) / probe_ranges.len().max(1) as u64;
-        for (&i, positive) in overlapping.iter().zip(verdicts) {
+        self.filter
+            .may_contain_range_batch_into(&scratch.probe_ranges, &mut scratch.verdicts);
+        let per_probe_ns =
+            (start.elapsed().as_nanos() as u64) / scratch.probe_ranges.len().max(1) as u64;
+        for (&i, &positive) in scratch.selected.iter().zip(scratch.verdicts.iter()) {
             stats.record_filter_probe(positive, per_probe_ns);
             if !positive {
                 continue;

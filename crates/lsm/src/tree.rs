@@ -52,6 +52,11 @@ use crate::persist::{self, Corruption};
 use crate::sst::SsTable;
 use crate::stats::ReadStats;
 
+/// Batch filter probe used by the shared descent: given a node's filter and
+/// the surviving query slots, write one verdict per slot into the reused
+/// output buffer.
+type FilterPass<'a> = dyn FnMut(&BloomRf, &[usize], &mut Vec<bool>) + 'a;
+
 /// Magic number of the persisted tree file (`TREE`).
 pub const TREE_MAGIC: &[u8; 4] = b"BTRE";
 /// Version of the persisted tree format.
@@ -440,12 +445,19 @@ impl FilterTree {
     /// `keys[i]`. Each node probes its surviving queries in one call to the
     /// level-grouped batch engine.
     pub fn candidates_points(&self, keys: &[u64], stats: &ReadStats) -> Vec<Vec<usize>> {
+        // One probe buffer and one kernel scratch for the whole descent: the
+        // tree probes thousands of per-node batches per lookup wave, so the
+        // steady state must not allocate.
+        let mut probe: Vec<u64> = Vec::new();
+        let mut scratch = bloomrf::ProbeScratch::new();
+        let tier = bloomrf::KernelTier::detect();
         self.descend(
             keys.len(),
             &|node, q| node.lo <= keys[q] && keys[q] <= node.hi,
-            &mut |filter, queries| {
-                let probe: Vec<u64> = queries.iter().map(|&q| keys[q]).collect();
-                filter.contains_point_batch(&probe)
+            &mut |filter, queries, verdicts| {
+                probe.clear();
+                probe.extend(queries.iter().map(|&q| keys[q]));
+                filter.contains_point_batch_with(&probe, verdicts, &mut scratch, tier);
             },
             stats,
         )
@@ -464,6 +476,10 @@ impl FilterTree {
     /// `ranges[i]`. Node probes reuse the two-path dyadic range lookup via
     /// [`BloomRf::contains_range_batch`].
     pub fn candidates_ranges(&self, ranges: &[(u64, u64)], stats: &ReadStats) -> Vec<Vec<usize>> {
+        // Reused across every node the descent visits, like the point path.
+        let mut forward: Vec<(usize, (u64, u64))> = Vec::new();
+        let mut probe: Vec<(u64, u64)> = Vec::new();
+        let mut fwd_verdicts: Vec<bool> = Vec::new();
         self.descend(
             ranges.len(),
             &|node, q| {
@@ -471,23 +487,25 @@ impl FilterTree {
                 // Reversed bounds: never prune, mirror the scan-all path.
                 lo > hi || (lo <= node.hi && hi >= node.lo)
             },
-            &mut |filter, queries| {
-                let mut verdicts = vec![true; queries.len()];
-                let forward: Vec<(usize, (u64, u64))> = queries
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &q)| ranges[q].0 <= ranges[q].1)
-                    .map(|(slot, &q)| (slot, ranges[q]))
-                    .collect();
+            &mut |filter, queries, verdicts| {
+                verdicts.clear();
+                verdicts.resize(queries.len(), true);
+                forward.clear();
+                forward.extend(
+                    queries
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &q)| ranges[q].0 <= ranges[q].1)
+                        .map(|(slot, &q)| (slot, ranges[q])),
+                );
                 if !forward.is_empty() {
-                    let probe: Vec<(u64, u64)> = forward.iter().map(|&(_, r)| r).collect();
-                    for (&(slot, _), verdict) in
-                        forward.iter().zip(filter.contains_range_batch(&probe))
-                    {
+                    probe.clear();
+                    probe.extend(forward.iter().map(|&(_, r)| r));
+                    filter.contains_range_batch_into(&probe, &mut fwd_verdicts);
+                    for (&(slot, _), &verdict) in forward.iter().zip(fwd_verdicts.iter()) {
                         verdicts[slot] = verdict;
                     }
                 }
-                verdicts
             },
             stats,
         )
@@ -501,13 +519,15 @@ impl FilterTree {
         &self,
         n_queries: usize,
         fence_pass: &dyn Fn(&TreeNode, usize) -> bool,
-        filter_pass: &mut dyn FnMut(&BloomRf, &[usize]) -> Vec<bool>,
+        filter_pass: &mut FilterPass<'_>,
         stats: &ReadStats,
     ) -> Vec<Vec<usize>> {
         let mut out: Vec<Vec<usize>> = vec![Vec::new(); n_queries];
         if self.num_leaves() == 0 || n_queries == 0 {
             return out;
         }
+        // Verdict buffer shared by every node probe in the descent.
+        let mut verdicts: Vec<bool> = Vec::new();
         let top = self.levels.len() - 1;
         // The top level is a single root by construction.
         let mut pending: Vec<(usize, Vec<usize>)> = vec![(0, (0..n_queries).collect())];
@@ -527,8 +547,8 @@ impl FilterTree {
                 if fenced.is_empty() {
                     continue;
                 }
-                let verdicts = filter_pass(&node.filter, &fenced);
-                for (&q, keep) in fenced.iter().zip(verdicts) {
+                filter_pass(&node.filter, &fenced, &mut verdicts);
+                for (&q, &keep) in fenced.iter().zip(verdicts.iter()) {
                     if !keep {
                         continue;
                     }

@@ -1,4 +1,13 @@
-//! Repo automation tasks. Usage: `cargo run -p xtask -- lint [--root PATH]`.
+//! Repo automation tasks:
+//!
+//! ```text
+//! cargo run -p xtask -- lint        [--root PATH]
+//! cargo run -p xtask -- bench-check [--root PATH] [--new SNAPSHOT.json]
+//! ```
+//!
+//! `bench-check` (see `bench_check` module docs) validates the committed
+//! `BENCH_*.json` perf snapshots against their schemas and, given `--new`,
+//! gates a freshly generated snapshot against the committed baseline.
 //!
 //! `lint` is an offline, line-based source lint enforcing the concurrency
 //! conventions documented in `docs/concurrency.md`:
@@ -22,6 +31,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod bench_check;
 
 /// Relative paths (forward-slash) exempt from the raw-lock rule: the facade
 /// itself is where the raw primitives are allowed to live.
@@ -189,6 +200,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = repo_root();
     let mut command = None;
+    let mut new_snapshot: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -196,6 +208,13 @@ fn main() -> ExitCode {
                 Some(p) => root = PathBuf::from(p),
                 None => {
                     eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--new" => match iter.next() {
+                Some(p) => new_snapshot = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--new requires a snapshot path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -220,8 +239,31 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("bench-check") => match bench_check::run(&root, new_snapshot.as_deref()) {
+            Ok(()) => {
+                println!(
+                    "xtask bench-check: ok{}",
+                    if new_snapshot.is_some() {
+                        " (schemas valid, no timing cell regressed > 25%)"
+                    } else {
+                        " (committed snapshot schemas valid)"
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(issues) => {
+                for issue in &issues {
+                    eprintln!("{issue}");
+                }
+                eprintln!("xtask bench-check: {} issue(s)", issues.len());
+                ExitCode::FAILURE
+            }
+        },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root PATH]");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint | bench-check> \
+                 [--root PATH] [--new SNAPSHOT.json]"
+            );
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,207 @@
+//! Differential tests for the batched probe kernel: every kernel tier must
+//! be *bit-identical* to the scalar reference loop — same verdict for every
+//! query — across every combination of word layout, storage backend
+//! (flat / sharded), query kind (point / range / single vs batched) and
+//! configuration family (basic / advisor-tuned / exact-layer / replicated).
+//!
+//! The kernel only regroups pure bit reads (phase-split per layer, alive-set
+//! compaction, prefetch hints), so any divergence from the scalar path is a
+//! bug by construction — there is no tolerance in these assertions.
+
+use proptest::prelude::*;
+
+use bloomrf::config::LayerSpec;
+use bloomrf::hashing::WordLayout;
+use bloomrf::{BloomRf, BloomRfConfig, KernelTier, ProbeScratch, ShardedBloomRf};
+
+const TIERS: [KernelTier; 3] = [
+    KernelTier::Scalar,
+    KernelTier::WordParallel,
+    KernelTier::Prefetch,
+];
+
+/// Assert every tier answers the scalar reference exactly, for points and
+/// ranges, on any `BloomRf` backend.
+fn assert_tiers_match<S: bloomrf::BitStore>(
+    filter: &BloomRf<S>,
+    points: &[u64],
+    ranges: &[(u64, u64)],
+) -> Result<(), TestCaseError> {
+    let reference = filter.contains_point_batch_scalar(points);
+    // The batched scalar path must agree with the single-query entry point.
+    for (&k, &r) in points.iter().zip(reference.iter()) {
+        prop_assert_eq!(
+            filter.contains_point(k),
+            r,
+            "single vs batched scalar, key {}",
+            k
+        );
+    }
+    let mut scratch = ProbeScratch::new();
+    let mut out = Vec::new();
+    for tier in TIERS {
+        filter.contains_point_batch_with(points, &mut out, &mut scratch, tier);
+        prop_assert_eq!(&out, &reference, "point tier {} diverged", tier);
+        filter.contains_range_batch_with(ranges, &mut out, tier);
+        let range_reference: Vec<bool> = ranges
+            .iter()
+            .map(|&(lo, hi)| filter.contains_range(lo, hi))
+            .collect();
+        prop_assert_eq!(&out, &range_reference, "range tier {} diverged", tier);
+    }
+    Ok(())
+}
+
+/// Mixed probe set: some inserted keys, some arbitrary (mostly absent).
+fn probes(keys: &[u64], extra: &[u64]) -> Vec<u64> {
+    keys.iter().chain(extra.iter()).copied().collect()
+}
+
+fn ranges_around(probes: &[u64], widths: &[u64]) -> Vec<(u64, u64)> {
+    probes
+        .iter()
+        .zip(widths.iter().cycle())
+        .map(|(&p, &w)| (p.saturating_sub(w / 2), p.saturating_add(w)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Basic filter, flat backend, both word layouts.
+    #[test]
+    fn kernel_matches_scalar_basic_flat(
+        keys in prop::collection::vec(any::<u64>(), 1..300),
+        extra in prop::collection::vec(any::<u64>(), 1..100),
+        widths in prop::collection::vec(0u64..1 << 45, 1..8),
+        alternating in any::<bool>(),
+    ) {
+        let layout = if alternating { WordLayout::Alternating } else { WordLayout::Forward };
+        let config = BloomRfConfig::basic(64, keys.len(), 14.0, 7)
+            .unwrap()
+            .with_word_layout(layout);
+        let filter = BloomRf::new(config).unwrap();
+        filter.insert_batch(&keys);
+        let points = probes(&keys, &extra);
+        let ranges = ranges_around(&points, &widths);
+        assert_tiers_match(&filter, &points, &ranges)?;
+    }
+
+    /// Basic filter, sharded (CAS-striped) backend, both word layouts.
+    #[test]
+    fn kernel_matches_scalar_basic_sharded(
+        keys in prop::collection::vec(any::<u64>(), 1..300),
+        extra in prop::collection::vec(any::<u64>(), 1..100),
+        widths in prop::collection::vec(0u64..1 << 45, 1..8),
+        shards in 1usize..8,
+        alternating in any::<bool>(),
+    ) {
+        let layout = if alternating { WordLayout::Alternating } else { WordLayout::Forward };
+        let config = BloomRfConfig::basic(64, keys.len(), 14.0, 7)
+            .unwrap()
+            .with_word_layout(layout);
+        let filter = ShardedBloomRf::new_sharded(config, shards).unwrap();
+        filter.insert_batch(&keys);
+        let points = probes(&keys, &extra);
+        let ranges = ranges_around(&points, &widths);
+        assert_tiers_match(&filter, &points, &ranges)?;
+    }
+
+    /// Advisor-tuned filter: exact-layer bitmap + replicated hashers +
+    /// multiple segments — the configuration family that exercises the
+    /// kernel's exact-layer batch and replica-major position layout.
+    #[test]
+    fn kernel_matches_scalar_tuned(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+        extra in prop::collection::vec(any::<u64>(), 1..80),
+        widths in prop::collection::vec(0u64..1 << 50, 1..8),
+    ) {
+        let tuned = bloomrf::TuningAdvisor::tune_for(64, keys.len().max(100), 18.0, 1e8).unwrap();
+        let filter = BloomRf::new(tuned.config).unwrap();
+        filter.insert_batch(&keys);
+        let points = probes(&keys, &extra);
+        let ranges = ranges_around(&points, &widths);
+        assert_tiers_match(&filter, &points, &ranges)?;
+    }
+
+    /// Hand-built replicated layout on a small domain: several hashers per
+    /// layer and segments small enough that alive-set compaction and the
+    /// 4-wide probe lanes hit their remainder paths constantly.
+    #[test]
+    fn kernel_matches_scalar_replicated_small_domain(
+        keys in prop::collection::vec(any::<u64>() , 1..150),
+        extra in prop::collection::vec(any::<u64>(), 1..60),
+        replicas in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let keys: Vec<u64> = keys.iter().map(|k| k & 0xFFFF_FFFF).collect();
+        let extra: Vec<u64> = extra.iter().map(|k| k & 0xFFFF_FFFF).collect();
+        let layers = vec![
+            LayerSpec::new(0, 6, replicas, 0),
+            LayerSpec::new(6, 6, replicas, 0),
+            LayerSpec::new(12, 6, 1, 1),
+        ];
+        // Exact layer sits at the top boundary (18); its bitmap spans the
+        // remaining 2^(32-18) prefixes.
+        let config = BloomRfConfig::new(32, layers, vec![1 << 12, 1 << 10], Some(18), seed)
+            .unwrap();
+        let filter = BloomRf::new(config).unwrap();
+        filter.insert_batch(&keys);
+        let points = probes(&keys, &extra);
+        let ranges = ranges_around(&points, &[1, 1 << 8, 1 << 16]);
+        assert_tiers_match(&filter, &points, &ranges)?;
+    }
+
+    /// Batch sizes around the kernel's internal lane width (4) and the
+    /// single-point prefetch cap (64): empty, 1, 3, 4, 5, 63, 64, 65 …
+    #[test]
+    fn kernel_matches_scalar_at_boundary_batch_sizes(
+        seed_keys in prop::collection::vec(any::<u64>(), 64..80),
+        size_pick in 0usize..8,
+    ) {
+        let sizes = [0usize, 1, 3, 4, 5, 63, 64, 65];
+        let n = sizes[size_pick];
+        let filter = BloomRf::basic(64, seed_keys.len(), 16.0, 7).unwrap();
+        filter.insert_batch(&seed_keys);
+        let points: Vec<u64> = seed_keys.iter().copied().take(n).collect();
+        let ranges: Vec<(u64, u64)> = points
+            .iter()
+            .map(|&p| (p.saturating_sub(10), p.saturating_add(10)))
+            .collect();
+        assert_tiers_match(&filter, &points, &ranges)?;
+    }
+}
+
+/// The `_into` batch entry points reuse a dirty output buffer correctly.
+#[test]
+fn into_variants_clear_previous_contents() {
+    let filter = BloomRf::basic(64, 100, 16.0, 7).unwrap();
+    filter.insert_batch(&[1, 2, 3]);
+    let mut out = vec![true; 17];
+    filter.contains_point_batch_into(&[1, 999_999], &mut out);
+    assert_eq!(out.len(), 2);
+    assert!(out[0]);
+    filter.contains_range_batch_into(&[(0, 10)], &mut out);
+    assert_eq!(out.len(), 1);
+    assert!(out[0]);
+}
+
+/// One scratch survives reuse across filters of different shapes.
+#[test]
+fn scratch_reuse_across_filters() {
+    let small = BloomRf::basic(64, 50, 12.0, 7).unwrap();
+    let tuned = bloomrf::TuningAdvisor::tune_for(64, 1000, 18.0, 1e6).unwrap();
+    let large = BloomRf::new(tuned.config).unwrap();
+    small.insert_batch(&[10, 20, 30]);
+    large.insert_batch(&[10, 20, 30]);
+    let mut scratch = ProbeScratch::new();
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        for tier in TIERS {
+            small.contains_point_batch_with(&[10, 11, 30, 31], &mut out, &mut scratch, tier);
+            assert_eq!((out[0], out[2]), (true, true));
+            large.contains_point_batch_with(&[10, 11, 30, 31], &mut out, &mut scratch, tier);
+            assert_eq!((out[0], out[2]), (true, true));
+        }
+    }
+}

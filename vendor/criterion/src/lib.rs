@@ -3,17 +3,109 @@
 //! Implements the subset of the criterion API the workspace benches use
 //! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
 //! `bench_with_input`, `Bencher::iter`, the `criterion_group!` /
-//! `criterion_main!` macros) with a small wall-clock measurement loop.
-//! There is no statistical analysis, HTML report, or outlier detection —
-//! each benchmark prints its per-iteration mean and, when a throughput was
-//! declared, elements per second.
+//! `criterion_main!` macros) with a wall-clock measurement loop and an
+//! honest, if small, statistical pipeline:
+//!
+//! 1. an explicit *warm-up* phase runs the routine untimed until the warm-up
+//!    budget elapses (caches, branch predictors and lazy allocations settle);
+//! 2. the timed phase collects `sample_size` samples, each a batch sized so
+//!    one sample lasts roughly the sample budget;
+//! 3. per-sample means pass through *Tukey fences* (1.5 × IQR beyond the
+//!    quartiles) to reject outliers — on a shared machine the slow tail is
+//!    scheduling noise, not the code under test;
+//! 4. the report states the inlier mean, the minimum (the least-noise
+//!    estimate of the true cost), a normal-approximation 95% confidence
+//!    interval of the mean, and how many samples were rejected.
+//!
+//! There is still no HTML report or bootstrap; [`SampleStats`] is exposed so
+//! harness binaries can reuse the same robust summary for their own JSON
+//! snapshots.
 //!
 //! Environment knobs:
 //! * `CRITERION_SAMPLE_MS` — target measurement time per sample in
 //!   milliseconds (default 20).
+//! * `CRITERION_WARMUP_MS` — warm-up time per benchmark in milliseconds
+//!   (default: one sample budget).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
+
+/// Robust summary of a set of per-iteration timings (nanoseconds).
+///
+/// Built by [`SampleStats::from_ns`]: samples outside the Tukey fences
+/// (`[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`) are rejected as outliers; `mean_ns`,
+/// `median_ns` and the confidence interval describe the surviving inliers,
+/// while `min_ns` is the minimum over *all* samples (a minimum cannot be
+/// inflated by noise, only deflated by mismeasurement).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleStats {
+    /// Mean of the inlier samples.
+    pub mean_ns: f64,
+    /// Median of the inlier samples.
+    pub median_ns: f64,
+    /// Minimum over all samples.
+    pub min_ns: f64,
+    /// Half-width of the normal-approximation 95% CI of the inlier mean.
+    pub ci95_ns: f64,
+    /// Number of samples rejected by the Tukey fences.
+    pub outliers: usize,
+    /// Number of inlier samples the summary describes.
+    pub samples: usize,
+}
+
+impl SampleStats {
+    /// Summarize per-iteration timings in nanoseconds. Returns `None` for an
+    /// empty input.
+    pub fn from_ns(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let min_ns = sorted[0];
+        let q1 = quantile(&sorted, 0.25);
+        let q3 = quantile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let (lo_fence, hi_fence) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let inliers: Vec<f64> = sorted
+            .iter()
+            .copied()
+            .filter(|&s| s >= lo_fence && s <= hi_fence)
+            .collect();
+        // The quartiles themselves are always inside the fences, so at least
+        // half of the samples survive and `inliers` is never empty.
+        let n = inliers.len() as f64;
+        let mean_ns = inliers.iter().sum::<f64>() / n;
+        let median_ns = quantile(&inliers, 0.5);
+        let ci95_ns = if inliers.len() > 1 {
+            let var = inliers.iter().map(|s| (s - mean_ns).powi(2)).sum::<f64>() / (n - 1.0);
+            1.96 * (var / n).sqrt()
+        } else {
+            0.0
+        };
+        Some(Self {
+            mean_ns,
+            median_ns,
+            min_ns,
+            ci95_ns,
+            outliers: samples.len() - inliers.len(),
+            samples: inliers.len(),
+        })
+    }
+}
+
+/// Linear-interpolation quantile of an ascending-sorted non-empty slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let base = pos.floor() as usize;
+    let frac = pos - base as f64;
+    if base + 1 < sorted.len() {
+        sorted[base] * (1.0 - frac) + sorted[base + 1] * frac
+    } else {
+        sorted[base]
+    }
+}
 
 /// Throughput declaration for a benchmark group.
 #[derive(Clone, Copy, Debug)]
@@ -71,11 +163,20 @@ impl Bencher {
     /// Measure `routine`, calling it repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let budget = sample_budget();
-        // Warm up, then size the batch so one sample lasts roughly `budget`.
-        // Calibrate on timed batches of doubling size rather than a single
-        // cold call, so an expensive first iteration (lazy allocation, cold
-        // caches) cannot collapse the batch to ~1 iteration.
-        std::hint::black_box(routine());
+        // Warm-up phase: run untimed until the warm-up budget elapses so the
+        // timed samples see settled caches, branch predictors and any lazily
+        // allocated state.
+        let warmup = warmup_budget(budget);
+        let warmup_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warmup_start.elapsed() >= warmup {
+                break;
+            }
+        }
+        // Size the batch so one sample lasts roughly `budget`. Calibrate on
+        // timed batches of doubling size rather than a single cold call, so
+        // one expensive iteration cannot collapse the batch to ~1 iteration.
         let mut calib_iters: u64 = 1;
         let per_iter = loop {
             let start = Instant::now();
@@ -100,14 +201,15 @@ impl Bencher {
         }
     }
 
-    fn mean_ns(&self) -> f64 {
-        let total_ns: f64 = self.samples.iter().map(|d| d.as_nanos() as f64).sum();
-        let total_iters: f64 = self.iters_per_sample.iter().map(|&i| i as f64).sum();
-        if total_iters == 0.0 {
-            0.0
-        } else {
-            total_ns / total_iters
-        }
+    /// Robust per-iteration summary of the collected samples.
+    fn stats(&self) -> Option<SampleStats> {
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .zip(&self.iters_per_sample)
+            .map(|(d, &iters)| d.as_nanos() as f64 / iters.max(1) as f64)
+            .collect();
+        SampleStats::from_ns(&per_iter)
     }
 }
 
@@ -117,6 +219,14 @@ fn sample_budget() -> Duration {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(20);
     Duration::from_millis(ms.max(1))
+}
+
+fn warmup_budget(sample_budget: Duration) -> Duration {
+    std::env::var("CRITERION_WARMUP_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(sample_budget)
 }
 
 fn format_ns(ns: f64) -> String {
@@ -158,6 +268,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Warm-up wall-clock time; accepted for API compatibility (the shim's
+    /// warm-up budget comes from `CRITERION_WARMUP_MS`).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
     /// Run one benchmark.
     pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
     where
@@ -182,19 +298,37 @@ impl BenchmarkGroup<'_> {
     fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
-        let mean_ns = bencher.mean_ns();
+        let stats = bencher.stats().unwrap_or(SampleStats {
+            mean_ns: 0.0,
+            median_ns: 0.0,
+            min_ns: 0.0,
+            ci95_ns: 0.0,
+            outliers: 0,
+            samples: 0,
+        });
         let rate = match self.throughput {
-            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
-                let per_sec = n as f64 / (mean_ns / 1.0e9);
+            Some(Throughput::Elements(n)) if stats.mean_ns > 0.0 => {
+                let per_sec = n as f64 / (stats.mean_ns / 1.0e9);
                 format!("  ({per_sec:.3e} elem/s)")
             }
-            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
-                let per_sec = n as f64 / (mean_ns / 1.0e9);
+            Some(Throughput::Bytes(n)) if stats.mean_ns > 0.0 => {
+                let per_sec = n as f64 / (stats.mean_ns / 1.0e9);
                 format!("  ({per_sec:.3e} B/s)")
             }
             _ => String::new(),
         };
-        println!("{}/{id}: {}{rate}", self.name, format_ns(mean_ns));
+        let outliers = if stats.outliers > 0 {
+            format!(", {} outliers rejected", stats.outliers)
+        } else {
+            String::new()
+        };
+        println!(
+            "{}/{id}: {} ±{} (min {}{outliers}){rate}",
+            self.name,
+            format_ns(stats.mean_ns),
+            format_ns(stats.ci95_ns),
+            format_ns(stats.min_ns),
+        );
         self
     }
 
@@ -283,5 +417,42 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn stats_reject_tukey_outliers() {
+        // Nine tight samples and one wild outlier: the fences drop it, so
+        // the mean stays near 10 while the minimum is still global.
+        let samples = [10.0, 10.1, 9.9, 10.0, 10.2, 9.8, 10.1, 10.0, 9.9, 500.0];
+        let stats = SampleStats::from_ns(&samples).unwrap();
+        assert_eq!(stats.outliers, 1);
+        assert_eq!(stats.samples, 9);
+        assert!((stats.mean_ns - 10.0).abs() < 0.2, "mean {}", stats.mean_ns);
+        assert!((stats.median_ns - 10.0).abs() < 0.2);
+        assert!((stats.min_ns - 9.8).abs() < f64::EPSILON);
+        assert!(stats.ci95_ns > 0.0 && stats.ci95_ns < 1.0);
+    }
+
+    #[test]
+    fn stats_degenerate_inputs() {
+        assert!(SampleStats::from_ns(&[]).is_none());
+        let one = SampleStats::from_ns(&[42.0]).unwrap();
+        assert_eq!(one.mean_ns, 42.0);
+        assert_eq!(one.min_ns, 42.0);
+        assert_eq!(one.ci95_ns, 0.0);
+        assert_eq!(one.outliers, 0);
+        // Identical samples: zero IQR keeps everything inside the fences.
+        let flat = SampleStats::from_ns(&[7.0; 8]).unwrap();
+        assert_eq!(flat.outliers, 0);
+        assert_eq!(flat.mean_ns, 7.0);
+        assert_eq!(flat.ci95_ns, 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 1.0), 4.0);
+        assert_eq!(quantile(&sorted, 0.5), 2.5);
     }
 }
